@@ -1,0 +1,18 @@
+"""§VII claim — "the relative benefit of URC improves with increased
+workload saturation"."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_urc_gain_grows_with_saturation(benchmark, scale):
+    data = run_once(
+        benchmark, ablations.urc_vs_saturation, scale, speedups=(1.0, 4.0, 16.0)
+    )
+    print()
+    print(ablations.render_urc(data))
+    gains = data["urc_gain"]
+    # URC at the highest saturation beats URC at the lowest.
+    assert gains[-1] >= gains[0] * 0.97
+    assert gains[-1] > 0.98  # URC never badly hurts

@@ -1,0 +1,48 @@
+"""Ablation benches for design choices called out in DESIGN.md:
+metric normalization, gating on/off, sequential-read disk discount."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_metric_normalization(benchmark, scale):
+    data = run_once(benchmark, ablations.metric_normalization, scale)
+    print()
+    for label, v in data.items():
+        print(f"  {label:12s} tp={v['throughput_qps']:.3f} rt={v['mean_rt']:.1f}")
+    # The raw unit-mixing formula lets age (ms) swamp U_t at alpha=0.5,
+    # degenerating to near arrival order; normalization must not lose
+    # to it on throughput.
+    assert (
+        data["normalized"]["throughput_qps"] >= data["raw"]["throughput_qps"] * 0.9
+    )
+
+
+def test_gating_ablation(benchmark, scale):
+    data = run_once(benchmark, ablations.gating_ablation, scale)
+    print()
+    for label in ("gated", "ungated"):
+        v = data[label]
+        print(
+            f"  {label:8s} tp={v['throughput_qps']:.3f} reads={v['disk_reads']}"
+            f" rt={v['mean_rt']:.1f}"
+        )
+    print(f"  gating throughput gain: {data['throughput_gain']:.2f}x")
+    # Gating must reduce I/O; throughput should not regress materially.
+    assert data["gated"]["disk_reads"] < data["ungated"]["disk_reads"]
+    assert data["throughput_gain"] > 0.95
+
+
+def test_seq_discount_disk_model(benchmark, scale):
+    data = run_once(benchmark, ablations.seq_discount, scale, discounts=(1.0, 0.25))
+    print()
+    print(ablations.render_seq(data))
+    rows = {r["discount"]: r for r in data["rows"]}
+    # Morton-ordered batching yields a higher sequential fraction than
+    # NoShare's per-query interleave, so a seek-bound disk helps JAWS
+    # disproportionately.
+    assert rows[0.25]["jaws2_seq_frac"] > rows[0.25]["noshare_seq_frac"]
+    jaws_gain = rows[0.25]["jaws2_qps"] / rows[1.0]["jaws2_qps"]
+    noshare_gain = rows[0.25]["noshare_qps"] / rows[1.0]["noshare_qps"]
+    assert jaws_gain > noshare_gain * 0.95

@@ -1,0 +1,90 @@
+"""Benches for the §VII future-work extensions: QoS deadlines,
+trajectory prefetching, and server-side job encapsulation."""
+
+from conftest import run_once
+
+from repro.core.prefetch import PrefetchingJAWSScheduler
+from repro.core.qos import QoSJAWSScheduler
+from repro.engine.runner import run_trace
+from repro.experiments.common import (
+    standard_engine,
+    standard_scheduler_config,
+    standard_trace,
+)
+from repro.workload.encapsulated import encapsulate_trace
+
+
+def test_qos_deadline_scheduling(benchmark, scale):
+    trace = standard_trace(scale)
+    engine = standard_engine()
+
+    def experiment():
+        cfg = standard_scheduler_config()
+        plain = run_trace(trace, "jaws2", engine, cfg)
+        qos = QoSJAWSScheduler(
+            trace.spec, engine.cost, standard_scheduler_config(), slack_factor=30.0
+        )
+        qos_result = run_trace(trace, qos, engine)
+        return plain, qos, qos_result
+
+    plain, qos, qos_result = run_once(benchmark, experiment)
+    print()
+    print(f"  plain JAWS2: tp={plain.throughput_qps:.3f} mean_rt={plain.mean_response_time:.1f}")
+    print(
+        f"  QoS-JAWS:    tp={qos_result.throughput_qps:.3f} "
+        f"mean_rt={qos_result.mean_response_time:.1f} "
+        f"miss_rate={qos.miss_rate:.2%} mean_tardiness={qos.mean_tardiness:.1f}s"
+    )
+    # Elasticity claim: QoS guarantees cost little throughput.
+    assert qos_result.throughput_qps > plain.throughput_qps * 0.7
+    assert qos_result.n_queries == plain.n_queries
+
+
+def test_trajectory_prefetching(benchmark, scale):
+    trace = standard_trace(scale)
+    engine = standard_engine()
+
+    def experiment():
+        plain = run_trace(trace, "jaws2", engine, standard_scheduler_config())
+        sched = PrefetchingJAWSScheduler(
+            trace.spec, engine.cost, standard_scheduler_config()
+        )
+        fetched = run_trace(trace, sched, engine)
+        return plain, sched, fetched
+
+    plain, sched, fetched = run_once(benchmark, experiment)
+    print()
+    print(
+        f"  plain JAWS2:   rt={plain.mean_response_time:6.1f}s "
+        f"hit={plain.cache_hit_ratio:.2f}"
+    )
+    print(
+        f"  JAWS+prefetch: rt={fetched.mean_response_time:6.1f}s "
+        f"hit={fetched.cache_hit_ratio:.2f} "
+        f"prefetched={sched.prefetched_atoms} "
+        f"prediction_accuracy={sched.prediction_accuracy:.2%}"
+    )
+    assert sched.prefetched_atoms > 0
+    assert sched.prediction_accuracy > 0.3
+    assert fetched.n_queries == plain.n_queries
+
+
+def test_job_encapsulation(benchmark, scale):
+    trace = standard_trace(scale)
+    engine = standard_engine()
+
+    def experiment():
+        loop = run_trace(trace, "jaws2", engine, standard_scheduler_config())
+        enc = run_trace(
+            encapsulate_trace(trace), "jaws2", engine, standard_scheduler_config()
+        )
+        return loop, enc
+
+    loop, enc = run_once(benchmark, experiment)
+    ordered = [j.job_id for j in trace.jobs if j.is_ordered and j.n_queries > 1]
+    loop_dur = sum(loop.job_durations[j] for j in ordered) / max(len(ordered), 1)
+    enc_dur = sum(enc.job_durations[j] for j in ordered) / max(len(ordered), 1)
+    print()
+    print(f"  client loop:  mean ordered-job duration={loop_dur:8.1f}s reads={loop.disk['reads']}")
+    print(f"  encapsulated: mean ordered-job duration={enc_dur:8.1f}s reads={enc.disk['reads']}")
+    assert enc_dur < loop_dur

@@ -1,0 +1,16 @@
+"""Regenerates Fig. 8 — distribution of jobs by execution time."""
+
+from conftest import run_once
+
+from repro.experiments import fig08
+
+
+def test_fig08_job_duration_distribution(benchmark, scale):
+    data = run_once(benchmark, fig08.run, scale)
+    print()
+    print(fig08.render(data))
+    # Shape assertions: most jobs land in the short/medium buckets and
+    # every bucket fraction is a valid probability.
+    measured = data["measured"]
+    assert abs(sum(measured.values()) - 1.0) < 1e-9
+    assert measured["<1min"] + measured["1-30min"] > 0.5

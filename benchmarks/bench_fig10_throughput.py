@@ -1,0 +1,22 @@
+"""Regenerates Fig. 10 — query throughput by scheduling algorithm."""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_throughput_by_algorithm(benchmark, scale):
+    data = run_once(benchmark, fig10.run, scale)
+    print()
+    print(fig10.render(data))
+    rows = data["rows"]
+    tp = {name: rows[name]["throughput_qps"] for name in rows}
+    # Shape: contention-based batching wins, job-awareness wins more.
+    assert tp["liferaft1"] > tp["noshare"]
+    assert tp["liferaft2"] > tp["liferaft1"]
+    assert tp["jaws2"] > tp["liferaft1"]
+    assert tp["jaws2"] >= 0.95 * tp["liferaft2"]  # usually strictly above
+    assert rows["jaws2"]["relative"] > 1.8  # paper: ~2.6x NoShare
+    # Job-aware JAWS does strictly less I/O than anything else.
+    assert rows["jaws2"]["disk_reads"] < rows["liferaft2"]["disk_reads"]
+    assert rows["jaws2"]["disk_reads"] < rows["jaws1"]["disk_reads"]

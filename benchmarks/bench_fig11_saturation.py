@@ -1,0 +1,33 @@
+"""Regenerates Fig. 11 — throughput (a) and response time (b) vs
+workload saturation."""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_saturation_sensitivity(benchmark, scale):
+    data = run_once(
+        benchmark, fig11.run, scale, speedups=(1.0, 2.0, 4.0, 8.0, 16.0)
+    )
+    print()
+    print(fig11.render(data))
+    tp = data["throughput"]
+    rt = data["response_time"]
+
+    # (a) Contention-based schedulers scale with saturation; arrival-
+    # order schedulers plateau: NoShare's high-saturation gain is small
+    # next to JAWS2's.
+    def gain(series):
+        return series[-1] / series[0]
+
+    assert gain(tp["jaws2"]) > gain(tp["noshare"])
+    assert gain(tp["liferaft2"]) > gain(tp["noshare"])
+    # JAWS2 wins throughput at every saturation level.
+    for i in range(len(data["speedups"])):
+        assert tp["jaws2"][i] >= max(tp["noshare"][i], tp["liferaft1"][i]) * 0.95
+
+    # (b) NoShare's response time is worst at high saturation, and JAWS
+    # responds faster than the pure contention scheduler there.
+    assert rt["noshare"][-1] > rt["jaws2"][-1]
+    assert rt["liferaft2"][-1] > rt["jaws2"][-1]

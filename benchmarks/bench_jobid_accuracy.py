@@ -1,0 +1,15 @@
+"""§IV-A claim check — heuristic job identification accuracy."""
+
+from conftest import run_once
+
+from repro.experiments import jobid
+
+
+def test_job_identification_accuracy(benchmark, scale):
+    data = run_once(benchmark, jobid.run, scale)
+    print()
+    print(jobid.render(data))
+    # "Highly accurate in practice."
+    assert data["precision"] > 0.9
+    assert data["recall"] > 0.9
+    assert data["f1"] > 0.9

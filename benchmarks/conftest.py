@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+Figure/table benches run full discrete-event simulations, so each is
+executed exactly once per session (``pedantic(rounds=1)``) and prints
+the paper-style table it regenerates; micro-benches use normal
+pytest-benchmark statistics.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Experiment scale for benches (SMALL keeps the suite minutes-long;
+    switch to FULL to regenerate the EXPERIMENTS.md numbers)."""
+    return ExperimentScale.SMALL

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Particle tracking with job-aware gated execution.
+
+Builds the paper's motivating scenario by hand: several scientists
+launch particle-tracking experiments over the same turbulent region at
+nearly the same time.  Each job advects a particle cloud one stored
+time step per query, and the next query's positions depend on the
+previous result — an *ordered* job.  JAWS aligns the jobs
+(Needleman–Wunsch over their atom sets) and co-schedules the queries
+that share atoms, reading each region once instead of once per job.
+
+Run:  python examples/particle_tracking.py
+"""
+
+import numpy as np
+
+from repro import DatasetSpec, EngineConfig, SyntheticTurbulence, run_trace
+from repro.config import SchedulerConfig
+from repro.core.jaws import JAWSScheduler
+from repro.grid.field import advect_positions
+from repro.workload.job import Job, JobKind
+from repro.workload.query import Query
+from repro.workload.trace import Trace
+
+
+def make_tracking_job(spec, field, job_id, user_id, start, n_steps, cloud, think=1.0):
+    """One ordered job: advect `cloud` from time step `start`."""
+    queries = []
+    positions = cloud
+    qid_base = job_id * 1000
+    for i in range(n_steps):
+        timestep = start + i
+        queries.append(
+            Query(
+                query_id=qid_base + i,
+                job_id=job_id,
+                seq=i,
+                user_id=user_id,
+                op="interp",
+                timestep=timestep,
+                positions=positions.copy(),
+            )
+        )
+        positions = advect_positions(field, positions, t=timestep * spec.dt, dt=spec.dt)
+    return Job(job_id, JobKind.ORDERED, user_id, submit_time=float(job_id), think_time=think, queries=queries)
+
+
+def main() -> None:
+    spec = DatasetSpec.small(n_timesteps=12, atoms_per_axis=8)
+    field = SyntheticTurbulence(box_size=spec.grid_side, seed=1, u_rms=30000.0)
+    rng = np.random.default_rng(0)
+
+    # Four scientists seed particle clouds in the same vortical region,
+    # minutes apart.  Without gating the staggered jobs sweep the same
+    # atoms at different times (each pays its own reads); gated JAWS
+    # delays the early jobs a little so all four read each region once.
+    hotspot = np.array([200.0, 200.0, 200.0])
+    jobs = []
+    for j in range(4):
+        job = make_tracking_job(
+            spec,
+            field,
+            job_id=j,
+            user_id=j,
+            start=0,
+            n_steps=10,
+            cloud=np.mod(hotspot + rng.normal(0, 40.0, (400, 3)), spec.grid_side),
+        )
+        job.submit_time = float(j * 25.0)
+        jobs.append(job)
+    trace = Trace(spec, jobs)
+    engine = EngineConfig()
+
+    print("Tracking 4 concurrent 10-step particle clouds (400 particles each)\n")
+    for label, job_aware in (("gated (JAWS_2)", True), ("ungated (JAWS_1)", False)):
+        cfg = SchedulerConfig(
+            alpha=0.0, adaptive_alpha=False, batch_size=15, job_aware=job_aware
+        )
+        scheduler = JAWSScheduler(spec, engine.cost, cfg)
+        result = run_trace(trace, scheduler, engine)
+        print(
+            f"{label:<18} disk reads={result.disk['reads']:5d}  "
+            f"makespan={result.makespan:7.1f}s  "
+            f"mean rt={result.mean_response_time:5.1f}s  "
+            f"cache hit={result.cache_hit_ratio:.2f}"
+        )
+    print(
+        "\nGated execution aligns the four jobs and reads each shared atom once"
+        " per step instead of once per job (paper Fig. 2's 33% scenario)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Record FULL-scale results for every figure/table into a JSON file.
+
+Used to produce the numbers in EXPERIMENTS.md:
+
+    python scripts/record_experiments.py [--scale full] [--out results.json]
+
+Runs take tens of minutes at FULL scale on one core; each artifact's
+result is flushed to disk as soon as it finishes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import ablations, fig08, fig09, fig10, fig11, fig12, jobid, table1
+from repro.experiments.common import ExperimentScale
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", choices=["small", "full"], default="full")
+    parser.add_argument("--out", default="experiment_results.json")
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="subset of artifact names to run"
+    )
+    args = parser.parse_args()
+    scale = ExperimentScale(args.scale)
+    out_path = Path(args.out)
+    results: dict = {}
+    if out_path.exists():
+        results = json.loads(out_path.read_text())
+
+    artifacts = {
+        "fig09": lambda: fig09.run(scale),
+        "jobid": lambda: jobid.run(scale),
+        "fig08": lambda: fig08.run(scale),
+        "fig10": lambda: fig10.run(scale),
+        "fig12": lambda: fig12.run(scale, ks=(1, 2, 5, 10, 15, 20, 30, 50)),
+        "table1": lambda: table1.run(scale),
+        "fig11": lambda: fig11.run(scale, speedups=(1.0, 2.0, 4.0, 8.0, 16.0)),
+        "ablation_urc": lambda: ablations.urc_vs_saturation(scale),
+        "ablation_gating": lambda: ablations.gating_ablation(scale),
+        "ablation_norm": lambda: ablations.metric_normalization(scale),
+        "ablation_seq": lambda: ablations.seq_discount(scale),
+    }
+    names = args.only or list(artifacts)
+    for name in names:
+        t0 = time.time()
+        print(f"[{time.strftime('%H:%M:%S')}] running {name} ...", flush=True)
+        results[name] = artifacts[name]()
+        results[name + "_wall_s"] = round(time.time() - t0, 1)
+        out_path.write_text(json.dumps(results, indent=2, default=float))
+        print(f"  done in {time.time() - t0:.0f}s -> {out_path}", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for environments without the ``wheel`` package (pip's PEP 517
+editable path needs bdist_wheel; ``setup.py develop`` does not)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""JAWS: Job-Aware Workload Scheduling for the Exploration of
+Turbulence Simulations — a full reproduction of the SC 2010 system.
+
+Quick start::
+
+    from repro import DatasetSpec, WorkloadParams, generate_trace, run_trace
+
+    spec = DatasetSpec.small()
+    trace = generate_trace(spec, WorkloadParams(n_jobs=60, seed=1))
+    jaws = run_trace(trace, "jaws2")
+    base = run_trace(trace, "noshare")
+    print(jaws.throughput_qps / base.throughput_qps)
+
+Subpackages
+-----------
+``repro.core``
+    The schedulers (NoShare, LifeRaft, JAWS) and their machinery:
+    workload-throughput metrics, Needleman–Wunsch job alignment, gating
+    graph, two-level batching, adaptive age bias.
+``repro.workload``
+    Queries, jobs, traces, the calibrated synthetic generator, and the
+    §IV-A job-identification heuristics.
+``repro.grid`` / ``repro.morton``
+    The Turbulence data model: atoms, Morton indexing, the synthetic
+    turbulence field and interpolation stencils.
+``repro.storage`` / ``repro.cache``
+    Simulated storage: B+-tree access path, disk cost model, buffer
+    cache with LRU / LRU-K / SLRU / URC replacement.
+``repro.engine``
+    The discrete-event simulator and result types.
+``repro.cluster``
+    Multi-node spatial partitioning (Fig. 7).
+``repro.experiments``
+    Harnesses regenerating every figure and table of §VI.
+"""
+
+from repro.config import CacheConfig, CostModel, EngineConfig, MetricConfig, SchedulerConfig
+from repro.core import (
+    AdaptiveAlphaController,
+    JAWSScheduler,
+    LifeRaftScheduler,
+    NoShareScheduler,
+)
+from repro.engine import RunResult, Simulator, make_scheduler, run_trace
+from repro.grid import DatasetSpec, SyntheticTurbulence
+from repro.workload import Trace, WorkloadParams, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CostModel",
+    "CacheConfig",
+    "MetricConfig",
+    "SchedulerConfig",
+    "EngineConfig",
+    "DatasetSpec",
+    "SyntheticTurbulence",
+    "Trace",
+    "WorkloadParams",
+    "generate_trace",
+    "NoShareScheduler",
+    "LifeRaftScheduler",
+    "JAWSScheduler",
+    "AdaptiveAlphaController",
+    "Simulator",
+    "RunResult",
+    "run_trace",
+    "make_scheduler",
+]

@@ -1,0 +1,26 @@
+"""Cache replacement policies (paper §V-B, Table I).
+
+* ``lru`` — plain LRU (reference policy).
+* ``lruk`` — LRU-K, the stand-in for SQL Server's page replacement.
+* ``slru`` — Segmented LRU with per-run batch promotion.
+* ``urc`` — Utility-Ranked Caching coordinated with the scheduler.
+
+Use :func:`repro.cache.make_policy` / ``CacheConfig.policy`` to select.
+"""
+
+from repro.cache.base import CachePolicy, available_policies, make_policy, register_policy
+from repro.cache.lru import LRUPolicy
+from repro.cache.lruk import LRUKPolicy
+from repro.cache.slru import SLRUPolicy
+from repro.cache.urc import URCPolicy
+
+__all__ = [
+    "CachePolicy",
+    "make_policy",
+    "register_policy",
+    "available_policies",
+    "LRUPolicy",
+    "LRUKPolicy",
+    "SLRUPolicy",
+    "URCPolicy",
+]

@@ -1,0 +1,29 @@
+"""Plain least-recently-used replacement (reference policy)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.base import CachePolicy, register_policy
+
+__all__ = ["LRUPolicy"]
+
+
+@register_policy("lru")
+class LRUPolicy(CachePolicy):
+    """Evict the least recently used resident atom."""
+
+    def __init__(self) -> None:
+        self._recency: OrderedDict[int, None] = OrderedDict()
+
+    def on_insert(self, atom_id: int, now: float) -> None:
+        self._recency[atom_id] = None
+
+    def on_evict(self, atom_id: int) -> None:
+        self._recency.pop(atom_id, None)
+
+    def on_access(self, atom_id: int, now: float) -> None:
+        self._recency.move_to_end(atom_id)
+
+    def choose_victim(self) -> int:
+        return next(iter(self._recency))

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Installed as ``repro`` (console script) or run via ``python -m
+repro.cli``::
+
+    repro trace generate --out trace.npz --jobs 120 --speedup 8
+    repro trace info trace.npz
+    repro run --trace trace.npz --scheduler jaws2 --cache urc
+    repro compare --trace trace.npz
+    repro experiment fig10 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Optional, Sequence
+
+from repro.engine.runner import SCHEDULER_NAMES, run_trace
+from repro.experiments import ablations, fig08, fig09, fig10, fig11, fig12, jobid, table1
+from repro.experiments.common import (
+    ExperimentScale,
+    standard_engine,
+    standard_params,
+    standard_spec,
+)
+from repro.experiments.report import render_table
+from repro.workload.generator import generate_trace
+from repro.workload.stats import workload_summary
+from repro.workload.trace import Trace
+
+EXPERIMENTS = {
+    "fig08": (fig08.run, fig08.render),
+    "fig09": (fig09.run, fig09.render),
+    "fig10": (fig10.run, fig10.render),
+    "fig11": (fig11.run, fig11.render),
+    "fig12": (fig12.run, fig12.render),
+    "table1": (table1.run, table1.render),
+    "jobid": (jobid.run, jobid.render),
+    "urc-ablation": (ablations.urc_vs_saturation, ablations.render_urc),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="JAWS (SC 2010) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace_p = sub.add_parser("trace", help="generate or inspect workload traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    gen = trace_sub.add_parser("generate", help="generate a synthetic trace")
+    gen.add_argument("--out", required=True, help="output .npz path")
+    gen.add_argument("--jobs", type=int, default=None, help="override job count")
+    gen.add_argument("--span", type=float, default=None, help="override submit span (s)")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--speedup", type=float, default=1.0, help="saturation rescale")
+    gen.add_argument(
+        "--scale", choices=["small", "full"], default="small", help="base parameter set"
+    )
+
+    info = trace_sub.add_parser("info", help="summarize a trace file")
+    info.add_argument("path")
+
+    run_p = sub.add_parser("run", help="replay a trace under one scheduler")
+    run_p.add_argument("--trace", required=True)
+    run_p.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="jaws2")
+    run_p.add_argument("--cache", choices=["lru", "lruk", "slru", "urc"], default=None)
+    run_p.add_argument("--speedup", type=float, default=1.0)
+
+    cmp_p = sub.add_parser("compare", help="replay a trace under several schedulers")
+    cmp_p.add_argument("--trace", required=True)
+    cmp_p.add_argument(
+        "--schedulers", nargs="+", choices=SCHEDULER_NAMES, default=list(SCHEDULER_NAMES)
+    )
+    cmp_p.add_argument("--speedup", type=float, default=1.0)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_p.add_argument("--scale", choices=["small", "full"], default="small")
+    exp_p.add_argument(
+        "--csv", default=None, help="also export the series to a CSV file (fig10/fig11/fig12/table1)"
+    )
+
+    return parser
+
+
+def _cmd_trace_generate(args) -> int:
+    scale = ExperimentScale(args.scale)
+    params = standard_params(scale, seed=args.seed)
+    overrides = {}
+    if args.jobs is not None:
+        overrides["n_jobs"] = args.jobs
+    if args.span is not None:
+        overrides["span"] = args.span
+    if overrides:
+        params = dataclasses.replace(params, **overrides)
+    trace = generate_trace(standard_spec(), params)
+    if args.speedup != 1.0:
+        trace = trace.rescale(args.speedup)
+    trace.save(args.out)
+    summary = workload_summary(trace)
+    print(f"wrote {args.out}")
+    for key, value in summary.items():
+        print(f"  {key}: {value:.3f}")
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    trace = Trace.load(args.path)
+    print(f"{args.path}:")
+    spec = trace.spec
+    print(
+        f"  dataset: {spec.n_timesteps} steps x {spec.atoms_per_timestep} atoms "
+        f"({spec.grid_side}^3 voxels, {spec.atom_side}^3 per atom)"
+    )
+    for key, value in workload_summary(trace).items():
+        print(f"  {key}: {value:.3f}")
+    print(f"  span: {trace.span:.1f}s")
+    return 0
+
+
+def _run_engine(args):
+    engine = standard_engine()
+    if getattr(args, "cache", None):
+        engine = dataclasses.replace(
+            engine, cache=dataclasses.replace(engine.cache, policy=args.cache)
+        )
+    return engine
+
+
+def _cmd_run(args) -> int:
+    trace = Trace.load(args.trace)
+    if args.speedup != 1.0:
+        trace = trace.rescale(args.speedup)
+    result = run_trace(trace, args.scheduler, _run_engine(args))
+    for key, value in result.summary().items():
+        print(f"  {key}: {value if isinstance(value, str) else round(value, 4)}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = Trace.load(args.trace)
+    if args.speedup != 1.0:
+        trace = trace.rescale(args.speedup)
+    engine = standard_engine()
+    rows = []
+    for name in args.schedulers:
+        result = run_trace(trace, name, engine)
+        rows.append(
+            (
+                name,
+                result.throughput_qps,
+                result.mean_response_time,
+                result.cache_hit_ratio,
+                result.disk["reads"],
+            )
+        )
+    print(render_table(["scheduler", "qps", "mean_rt_s", "cache_hit", "reads"], rows))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    run_fn, render_fn = EXPERIMENTS[args.name]
+    data = run_fn(ExperimentScale(args.scale))
+    print(render_fn(data))
+    if args.csv:
+        from repro.experiments import export
+
+        exporters = {
+            "fig10": export.export_fig10,
+            "fig11": export.export_fig11,
+            "fig12": export.export_fig12,
+            "table1": export.export_table1,
+        }
+        exporter = exporters.get(args.name)
+        if exporter is None:
+            print(f"(no CSV exporter for {args.name}; skipped)")
+        else:
+            print(f"wrote {exporter(data, args.csv)}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "trace":
+        if args.trace_command == "generate":
+            return _cmd_trace_generate(args)
+        return _cmd_trace_info(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Multi-node cluster substrate (paper Fig. 7): spatial partitioning of
+atoms across nodes, each running its own scheduler instance."""
+
+from repro.cluster.cluster import ClusterResult, run_cluster
+from repro.cluster.partition import MortonRangePartitioner
+
+__all__ = ["MortonRangePartitioner", "run_cluster", "ClusterResult"]

@@ -1,0 +1,214 @@
+"""Central configuration objects for the JAWS reproduction.
+
+Every tunable in the system lives in one of the frozen dataclasses here
+so that experiments are fully described by a few immutable values and a
+seed.  Defaults are calibrated so that the laptop-scale experiment
+configurations in :mod:`repro.experiments.common` reproduce the *shape*
+of the paper's results (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = [
+    "CostModel",
+    "CacheConfig",
+    "MetricConfig",
+    "SchedulerConfig",
+    "EngineConfig",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Time-cost model for the simulated storage and compute substrate.
+
+    The paper's workload-throughput metric (Eq. 1) uses two empirically
+    derived constants: ``T_b``, the cost of reading one atom from disk,
+    and ``T_m``, the compute cost of evaluating a single queried
+    position.  Atom reads are uniform cost because atoms are equal-sized
+    8 MB blocks.
+
+    Attributes
+    ----------
+    t_b:
+        Seconds to read one atom from disk (cold).  An 8 MB block on the
+        paper's RAID-5 array lands in the tens of milliseconds.
+    t_m:
+        Seconds of computation per queried position (interpolation
+        kernel evaluation).
+    seq_discount:
+        Multiplier applied to ``t_b`` when the previously read atom is
+        the immediately preceding Morton code on the same time step
+        (sequential read, no seek).  ``1.0`` reproduces the paper's
+        uniform-cost assumption; smaller values model seek amortization
+        from Morton-ordered batches.
+    t_overhead:
+        Fixed scheduling overhead charged per executed batch, seconds.
+    """
+
+    t_b: float = 0.04
+    t_m: float = 2.0e-5
+    seq_discount: float = 1.0
+    t_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t_b <= 0 or self.t_m <= 0:
+            raise ValueError("t_b and t_m must be positive")
+        if not 0.0 < self.seq_discount <= 1.0:
+            raise ValueError("seq_discount must be in (0, 1]")
+        if self.t_overhead < 0:
+            raise ValueError("t_overhead must be non-negative")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Atom-cache configuration.
+
+    The paper manages a 2 GB cache of 8 MB atoms externally to SQL
+    Server, i.e. 256 atom slots.  ``protected_fraction`` applies to SLRU
+    only (5–10 % in the paper); ``lruk_k`` applies to LRU-K only.
+    """
+
+    capacity_atoms: int = 256
+    policy: str = "lruk"
+    protected_fraction: float = 0.05
+    lruk_k: int = 2
+
+    def __post_init__(self) -> None:
+        if self.capacity_atoms < 1:
+            raise ValueError("capacity_atoms must be >= 1")
+        if not 0.0 < self.protected_fraction < 1.0:
+            raise ValueError("protected_fraction must be in (0, 1)")
+        if self.lruk_k < 1:
+            raise ValueError("lruk_k must be >= 1")
+
+
+@dataclass(frozen=True)
+class MetricConfig:
+    """Configuration of the (aged) workload-throughput metric.
+
+    Attributes
+    ----------
+    normalize:
+        Eq. 2 mixes a throughput rate with an age in milliseconds; used
+        raw, the age term dominates for any ``alpha > 0`` once queries
+        have waited seconds.  With ``normalize=True`` (default) both
+        terms are min–max normalized over the current candidate set so
+        that ``alpha`` sweeps the full trade-off between contention
+        order (``alpha=0``) and arrival order (``alpha=1``).  Set
+        ``False`` for the paper's literal formula.
+    age_units:
+        Divisor converting engine seconds into the age units of Eq. 2
+        (the paper uses milliseconds, i.e. ``0.001``).  Only meaningful
+        when ``normalize=False``.
+    """
+
+    normalize: bool = True
+    age_units: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.age_units <= 0:
+            raise ValueError("age_units must be positive")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Scheduler behaviour switches shared by LifeRaft and JAWS.
+
+    Attributes
+    ----------
+    alpha:
+        Initial age bias of the aged workload-throughput metric
+        (Eq. 2).  ``0`` maximizes contention-ordered throughput, ``1``
+        processes sub-queries in arrival order.
+    adaptive_alpha:
+        Enable the §V-A adaptive starvation-resistance controller
+        (JAWS); LifeRaft keeps ``alpha`` fixed.
+    run_length:
+        Number of consecutive completed queries forming one *run* —
+        the granularity of adaptive-α updates and SLRU promotion.
+    batch_size:
+        ``k``, the maximum number of atoms co-scheduled per time step by
+        the two-level framework (paper default 15).  ``1`` disables
+        two-level batching (LifeRaft schedules a single atom at a time).
+    two_level:
+        Select the time step by mean workload throughput before picking
+        atoms (JAWS); if ``False`` atoms compete globally (LifeRaft).
+    job_aware:
+        Enable gated execution (§IV): align ordered jobs and co-schedule
+        data-sharing queries.  ``JAWS_1`` in the paper is
+        ``job_aware=False``, ``JAWS_2`` is ``True``.
+    gating_max_lag:
+        Maximum number of queries a job may be held back by gating
+        before its gates are dropped (a liveness valve; the paper prunes
+        completed queries but does not bound lag — ``None`` disables).
+    metric:
+        Metric configuration (normalization etc.).
+    """
+
+    alpha: float = 0.5
+    adaptive_alpha: bool = False
+    run_length: int = 50
+    batch_size: int = 15
+    two_level: bool = True
+    job_aware: bool = True
+    gating_max_lag: Optional[int] = None
+    metric: MetricConfig = field(default_factory=MetricConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if self.run_length < 1:
+            raise ValueError("run_length must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.gating_max_lag is not None and self.gating_max_lag < 1:
+            raise ValueError("gating_max_lag must be >= 1 or None")
+
+    def with_(self, **kwargs) -> "SchedulerConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Discrete-event engine configuration.
+
+    Attributes
+    ----------
+    cost:
+        Storage/compute cost model.
+    cache:
+        Atom cache configuration.
+    interpolation_order:
+        Lagrange order of the ``interp`` operation's kernel.  With the
+        production 4-voxel halo an order-8 kernel never leaves its
+        atom; the default 12 models wider kernels (e.g. gradients of
+        the order-8 interpolant), whose stencils near atom faces read
+        neighbor atoms — the locality-of-reference path that batch
+        size ``k`` exploits (§V).
+    run_length:
+        Completed queries per *run* — the granularity at which the
+        engine emits run boundaries (adaptive α, SLRU promotion).
+    max_sim_time:
+        Safety bound on the virtual clock, seconds; the engine raises
+        if exceeded (guards against livelock bugs in scheduler
+        development).
+    """
+
+    cost: CostModel = field(default_factory=CostModel)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    interpolation_order: int = 12
+    run_length: int = 50
+    max_sim_time: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.interpolation_order < 2 or self.interpolation_order % 2:
+            raise ValueError("interpolation_order must be an even integer >= 2")
+        if self.run_length < 1:
+            raise ValueError("run_length must be >= 1")
+        if self.max_sim_time <= 0:
+            raise ValueError("max_sim_time must be positive")

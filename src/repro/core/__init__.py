@@ -1,0 +1,37 @@
+"""The paper's contribution: NoShare, LifeRaft, and JAWS schedulers,
+plus the metrics, gating machinery and adaptive-α controller they
+build on."""
+
+from repro.core.adaptive import AdaptiveAlphaController
+from repro.core.alignment import align_jobs, alignment_score, overlap_matrix
+from repro.core.base import Batch, RunObservation, Scheduler
+from repro.core.gating import PrecedenceGraph
+from repro.core.jaws import JAWSScheduler
+from repro.core.liferaft import LifeRaftScheduler
+from repro.core.merge import GatingManager, build_gating_offline
+from repro.core.metrics import aged_metric, workload_throughput
+from repro.core.noshare import NoShareScheduler
+from repro.core.queues import WorkloadQueues
+from repro.core.states import QueryState
+from repro.core.two_level import select_two_level
+
+__all__ = [
+    "Scheduler",
+    "Batch",
+    "RunObservation",
+    "NoShareScheduler",
+    "LifeRaftScheduler",
+    "JAWSScheduler",
+    "AdaptiveAlphaController",
+    "PrecedenceGraph",
+    "GatingManager",
+    "build_gating_offline",
+    "align_jobs",
+    "alignment_score",
+    "overlap_matrix",
+    "aged_metric",
+    "workload_throughput",
+    "select_two_level",
+    "WorkloadQueues",
+    "QueryState",
+]

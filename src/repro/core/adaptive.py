@@ -1,0 +1,106 @@
+"""Adaptive starvation resistance: the age-bias controller (paper §V-A).
+
+JAWS divides the workload into runs of ``r`` consecutive queries,
+measures mean response time ``rt(i)`` and throughput ``tp(i)`` per run,
+and nudges the age bias α of Eq. 2 after each run:
+
+* **Rule 1** — saturation rising (``rt`` ratio ≥ 1) without a
+  commensurate throughput gain: *decrease* α (bias toward contention,
+  maximize sharing to keep queueing times from exploding).
+* **Rule 2** — saturation falling (``rt`` ratio < 1) while throughput
+  dropped even faster: *increase* α (spend spare capacity on response
+  time).
+
+Ratios are computed on EWMA-smoothed series
+(``rt'(i) = 0.2 rt(i) + 0.8 rt'(i-1)``, same for ``tp``) so α moves
+incrementally; and when two consecutive runs show no change, the
+controller *explores* by perturbing α, so it cannot stay stuck at a bad
+initial value when saturation is static.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AdaptiveAlphaController"]
+
+
+@dataclass
+class AdaptiveAlphaController:
+    """Incremental α tuner.
+
+    Attributes
+    ----------
+    alpha:
+        Current age bias, updated in place by :meth:`update`.
+    ewma_weight:
+        Weight of the newest run in the smoothed series (paper: 0.2).
+    step_gain:
+        Multiplier on the raw ``rt-ratio − tp-ratio`` step (1.0 = the
+        paper's formula).
+    stasis_epsilon:
+        Ratio band treated as "no change" for exploration purposes.
+    explore_step:
+        Magnitude of the exploration perturbation, alternating sign.
+    """
+
+    alpha: float = 0.5
+    ewma_weight: float = 0.2
+    step_gain: float = 1.0
+    stasis_epsilon: float = 0.02
+    explore_step: float = 0.05
+
+    _rt_smooth: float | None = field(default=None, repr=False)
+    _tp_smooth: float | None = field(default=None, repr=False)
+    _stasis_runs: int = field(default=0, repr=False)
+    _explore_sign: float = field(default=1.0, repr=False)
+    history: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if not 0.0 < self.ewma_weight <= 1.0:
+            raise ValueError("ewma_weight must be in (0, 1]")
+
+    def update(self, rt: float, tp: float) -> float:
+        """Observe one run's mean response time and throughput; returns
+        the α to use for the next run."""
+        if rt < 0 or tp < 0:
+            raise ValueError("rt and tp must be non-negative")
+        if self._rt_smooth is None or self._tp_smooth is None:
+            # rt'(0) = rt(0), tp'(0) = tp(0): first run seeds the series.
+            self._rt_smooth = rt
+            self._tp_smooth = tp
+            self.history.append(self.alpha)
+            return self.alpha
+
+        w = self.ewma_weight
+        rt_new = w * rt + (1 - w) * self._rt_smooth
+        tp_new = w * tp + (1 - w) * self._tp_smooth
+        rt_ratio = rt_new / self._rt_smooth if self._rt_smooth > 0 else 1.0
+        tp_ratio = tp_new / self._tp_smooth if self._tp_smooth > 0 else 1.0
+        self._rt_smooth = rt_new
+        self._tp_smooth = tp_new
+
+        if abs(rt_ratio - 1.0) < self.stasis_epsilon and abs(tp_ratio - 1.0) < self.stasis_epsilon:
+            self._stasis_runs += 1
+        else:
+            self._stasis_runs = 0
+
+        if self._stasis_runs >= 2:
+            # Exploration: vary the bias to probe the trade-off curve.
+            self.alpha = min(1.0, max(0.0, self.alpha + self._explore_sign * self.explore_step))
+            self._explore_sign = -self._explore_sign
+            self._stasis_runs = 0
+        elif rt_ratio >= 1.0 and tp_ratio < rt_ratio:
+            # Rule 1: bias toward contention.
+            step = self.step_gain * (rt_ratio - tp_ratio)
+            self.alpha -= min(step, self.alpha)
+        elif rt_ratio < 1.0 and tp_ratio < rt_ratio:
+            # Rule 2: bias toward age.
+            step = self.step_gain * (rt_ratio - tp_ratio)
+            self.alpha += min(step, 1.0 - self.alpha)
+
+        self.alpha = min(1.0, max(0.0, self.alpha))
+        self.history.append(self.alpha)
+        return self.alpha

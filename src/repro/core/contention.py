@@ -1,0 +1,118 @@
+"""Shared machinery of the contention-based schedulers.
+
+LifeRaft and JAWS both schedule *atoms* out of per-atom workload queues
+ranked by the (aged) workload-throughput metric, and both can
+coordinate the buffer cache's URC policy by exporting a utility
+ranking.  :class:`ContentionSchedulerBase` implements that common core:
+queue ownership, cache binding (``phi`` residency flags + URC utility
+export + invalidation), vectorized metric evaluation, and batch
+draining.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.config import CostModel, SchedulerConfig
+from repro.core.base import Batch, Scheduler
+from repro.core.metrics import aged_metric, workload_throughput
+from repro.core.queues import WorkloadQueues
+from repro.grid.dataset import DatasetSpec
+from repro.storage.buffer import BufferCache
+from repro.workload.query import Query, SubQuery
+
+__all__ = ["ContentionSchedulerBase"]
+
+
+class ContentionSchedulerBase(Scheduler):
+    """Common base for queue-driven, contention-ordered schedulers."""
+
+    def __init__(self, spec: DatasetSpec, cost: CostModel, config: SchedulerConfig) -> None:
+        self.spec = spec
+        self.cost = cost
+        self.config = config
+        self.queues = WorkloadQueues(spec.atoms_per_timestep)
+        self._alpha = config.alpha
+        self._cache: Optional[BufferCache] = None
+        # URC utility memo: recomputed lazily after queue changes.
+        self._utility_stale = True
+        self._utility_atom: dict[int, float] = {}
+        self._utility_ts_mean: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Cache coordination
+    # ------------------------------------------------------------------
+    def bind_cache(self, cache: BufferCache) -> None:
+        """Wire residency flags (Eq. 1's phi) and the URC utility feed."""
+        self._cache = cache
+        cache.add_listener(
+            on_insert=self.queues.on_cache_insert,
+            on_evict=self.queues.on_cache_evict,
+        )
+        cache.policy.set_utility_fn(self._utility)
+
+    def cache_utility_fn(self) -> Optional[Callable[[int], tuple]]:
+        return self._utility
+
+    def _invalidate_utilities(self) -> None:
+        self._utility_stale = True
+        if self._cache is not None:
+            self._cache.policy.invalidate_utilities()
+
+    def _utility(self, atom_id: int) -> tuple:
+        """URC rank of a resident atom: (mean step throughput, atom
+        throughput), lower evicted sooner (§V-B).
+
+        Uses phi = 1 (the cost *re-reading* the atom would incur if
+        evicted); an idle atom ranks (0, 0) and goes first.
+        """
+        if self._utility_stale:
+            ids, counts, _, _ = self.queues.active_view()
+            # What the workload loses if the atom must be re-read.
+            u = workload_throughput(counts, np.zeros(len(ids), dtype=bool), self.cost)
+            self._utility_atom = {int(a): float(v) for a, v in zip(ids, u)}
+            ts = self.queues.timesteps_of(ids)
+            self._utility_ts_mean = {}
+            for step in np.unique(ts):
+                self._utility_ts_mean[int(step)] = float(u[ts == step].mean())
+            self._utility_stale = False
+        step = atom_id // self.spec.atoms_per_timestep
+        return (
+            self._utility_ts_mean.get(step, 0.0),
+            self._utility_atom.get(atom_id, 0.0),
+        )
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+    def _enqueue(self, subqueries: list[SubQuery], now: float) -> None:
+        for sq in subqueries:
+            self.queues.add(sq, now)
+        if subqueries:
+            self._invalidate_utilities()
+
+    def on_query_arrival(self, query: Query, subqueries: list[SubQuery], now: float) -> None:
+        self._enqueue(subqueries, now)
+
+    def _metric_view(
+        self, now: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(atom_ids, timesteps, U_t, U_e)`` over atoms with work."""
+        ids, counts, oldest, cached = self.queues.active_view()
+        u_t = workload_throughput(counts, cached, self.cost)
+        u_e = aged_metric(u_t, oldest, now, self._alpha, self.config.metric)
+        return ids, self.queues.timesteps_of(ids), u_t, u_e
+
+    def _drain(self, atom_ids: list[int]) -> Batch:
+        batch = Batch(atoms=[(a, self.queues.pop_atom(a)) for a in atom_ids])
+        self._invalidate_utilities()
+        return batch
+
+    def has_pending(self) -> bool:
+        return len(self.queues) > 0
+
+    @property
+    def current_alpha(self) -> float:
+        return self._alpha

@@ -1,0 +1,266 @@
+"""Precedence graph with gating edges (paper §IV-B, Figs. 3–5).
+
+The graph holds every active query as a vertex.  Directed *precedence*
+edges chain each ordered job's queries; undirected *gating* edges link
+queries of different jobs that the scheduler must co-schedule to
+realize data sharing.  A query can be scheduled only when its
+predecessor is DONE and every gating partner has at least arrived
+(READY) — partners already queued or completed no longer block.
+
+Because ``AdmitGatingEdge`` (Fig. 4 line 2) makes a new query inherit
+every edge incident to its partner, co-scheduling components are
+*cliques*; we therefore represent them directly as **groups** (one id
+per clique) instead of edge sets, which keeps admission incremental —
+no union-find rebuild per candidate edge.
+
+Admission enforces the paper's feasibility conditions:
+
+* a group may contain at most one query per job (two queries of one
+  job can never be co-scheduled — one precedes the other);
+* contracting groups to single nodes must leave the precedence
+  relation acyclic.  This single check subsumes the pseudo-code's
+  non-crossing/per-pair rules: two crossing edges between jobs A and B
+  induce precedence paths g1 → g2 (through A) and g2 → g1 (through B),
+  i.e. a cycle.  The paper pre-filters with *gating numbers*; since
+  its published comparison line is garbled we keep gating numbers as a
+  diagnostic (:meth:`gating_numbers`) and rely on the explicit cycle
+  check for soundness (see DESIGN.md); property tests verify gated
+  schedules never deadlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.states import QueryState
+
+__all__ = ["PrecedenceGraph"]
+
+
+@dataclass
+class _Vertex:
+    job_id: int
+    seq: int
+    atoms: frozenset[int]
+    group: int
+    state: QueryState = QueryState.WAIT
+
+
+class PrecedenceGraph:
+    """Mutable precedence + gating-group graph over active queries."""
+
+    def __init__(self) -> None:
+        self._v: dict[int, _Vertex] = {}
+        self._job_queries: dict[int, list[int]] = {}  # live query ids, seq order
+        self._groups: dict[int, set[int]] = {}  # group id -> member query ids
+        self._next_group = 0
+        self.edges_admitted = 0
+        self.edges_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_job(
+        self, job_id: int, query_ids: list[int], atom_sets: list[frozenset[int]]
+    ) -> None:
+        """Register a job's query chain (all vertices start WAIT, each
+        in its own singleton group)."""
+        if job_id in self._job_queries:
+            raise ValueError(f"job {job_id} already in graph")
+        if len(query_ids) != len(atom_sets):
+            raise ValueError("query_ids and atom_sets length mismatch")
+        for seq, (qid, atoms) in enumerate(zip(query_ids, atom_sets)):
+            if qid in self._v:
+                raise ValueError(f"query {qid} already in graph")
+            gid = self._next_group
+            self._next_group += 1
+            self._v[qid] = _Vertex(job_id=job_id, seq=seq, atoms=atoms, group=gid)
+            self._groups[gid] = {qid}
+        self._job_queries[job_id] = list(query_ids)
+
+    def __contains__(self, qid: int) -> bool:
+        return qid in self._v
+
+    def jobs(self) -> list[int]:
+        return list(self._job_queries)
+
+    def queries_of(self, job_id: int) -> list[int]:
+        return list(self._job_queries.get(job_id, []))
+
+    def atoms_of(self, qid: int) -> frozenset[int]:
+        return self._v[qid].atoms
+
+    def state(self, qid: int) -> QueryState:
+        return self._v[qid].state
+
+    def set_state(self, qid: int, state: QueryState) -> None:
+        self._v[qid].state = state
+
+    def partners(self, qid: int) -> frozenset[int]:
+        """Gating partners (the rest of the query's clique)."""
+        v = self._v[qid]
+        return frozenset(self._groups[v.group] - {qid})
+
+    # ------------------------------------------------------------------
+    # Deadlock check: contracted group graph must stay acyclic
+    # ------------------------------------------------------------------
+    def _acyclic_with_merge(self, ga: int, gb: int) -> bool:
+        succ: dict[int, set[int]] = {}
+        for qids in self._job_queries.values():
+            prev = -1
+            for qid in qids:
+                g = self._v[qid].group
+                if g == gb:
+                    g = ga
+                if prev >= 0:
+                    if prev == g:
+                        return False  # group contains its own successor
+                    succ.setdefault(prev, set()).add(g)
+                prev = g
+        # Iterative three-color DFS.
+        color: dict[int, int] = {}
+        for start in succ:
+            if color.get(start):
+                continue
+            stack = [(start, iter(succ.get(start, ())))]
+            color[start] = 1
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    c = color.get(nxt, 0)
+                    if c == 1:
+                        return False
+                    if c == 0:
+                        color[nxt] = 1
+                        stack.append((nxt, iter(succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = 2
+                    stack.pop()
+        return True
+
+    # ------------------------------------------------------------------
+    # Admission (Fig. 4)
+    # ------------------------------------------------------------------
+    def admit_edge(self, qa: int, qb: int) -> bool:
+        """Try to admit gating edge (qa, qb), merging their cliques.
+
+        Returns True if admitted (or already present).  Either endpoint
+        missing/DONE, a duplicate job inside the merged group, or a
+        cycle in the contracted graph rejects the merge.
+        """
+        va = self._v.get(qa)
+        vb = self._v.get(qb)
+        if va is None or vb is None or va is vb:
+            self.edges_rejected += 1
+            return False
+        if va.state is QueryState.DONE or vb.state is QueryState.DONE:
+            self.edges_rejected += 1
+            return False
+        ga, gb = va.group, vb.group
+        if ga == gb:
+            return True  # already co-scheduled
+        members_a = self._groups[ga]
+        members_b = self._groups[gb]
+        jobs_a = {self._v[q].job_id for q in members_a}
+        jobs_b = {self._v[q].job_id for q in members_b}
+        if jobs_a & jobs_b:
+            self.edges_rejected += 1
+            return False
+        if not self._acyclic_with_merge(ga, gb):
+            self.edges_rejected += 1
+            return False
+        # Merge smaller into larger.
+        if len(members_a) < len(members_b):
+            ga, gb = gb, ga
+            members_a, members_b = members_b, members_a
+        for qid in members_b:
+            self._v[qid].group = ga
+        members_a.update(members_b)
+        del self._groups[gb]
+        self.edges_admitted += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Gating numbers (diagnostic; Fig. 3 annotation)
+    # ------------------------------------------------------------------
+    def gating_numbers(self) -> dict[int, int]:
+        """Minimum gating edges evaluated before each query can run.
+
+        Fixed point of ``G(q) = gated predecessors in q's own job +
+        max over partners p of those predecessors of (G(p) + 1)``,
+        iterated over jobs in execution order until stable.
+        """
+        g = {qid: 0 for qid in self._v}
+        changed = True
+        guard = 0
+        while changed and guard < len(self._v) + 2:
+            changed = False
+            guard += 1
+            for qids in self._job_queries.values():
+                prior_edges = 0
+                best_partner = 0
+                for qid in qids:
+                    new = prior_edges + best_partner
+                    if new > g[qid]:
+                        g[qid] = new
+                        changed = True
+                    partners = self.partners(qid)
+                    if partners:
+                        prior_edges += len(partners)
+                        for p in partners:
+                            if g[p] + 1 > best_partner:
+                                best_partner = g[p] + 1
+        return g
+
+    # ------------------------------------------------------------------
+    # Release logic
+    # ------------------------------------------------------------------
+    def group_of(self, qid: int) -> set[int]:
+        """The query's live co-scheduling clique (including itself)."""
+        return set(self._groups[self._v[qid].group])
+
+    def releasable_group(self, qid: int) -> list[int] | None:
+        """If ``qid``'s whole gating group has arrived, return its READY
+        members (the ones to move to QUEUE now); else ``None``.
+
+        Partners still WAIT (not yet arrived) block the group; partners
+        already QUEUE never do.
+        """
+        ready: list[int] = []
+        for member in self._groups[self._v[qid].group]:
+            st = self._v[member].state
+            if st is QueryState.WAIT:
+                return None
+            if st is QueryState.READY:
+                ready.append(member)
+        return ready
+
+    def mark_done(self, qid: int) -> None:
+        """Complete a query and prune it from the graph (the paper
+        continually prunes completed queries to keep the merge cheap)."""
+        v = self._v.pop(qid, None)
+        if v is None:
+            return
+        members = self._groups[v.group]
+        members.discard(qid)
+        if not members:
+            del self._groups[v.group]
+        qids = self._job_queries.get(v.job_id)
+        if qids is not None:
+            try:
+                qids.remove(qid)
+            except ValueError:
+                pass
+            if not qids:
+                del self._job_queries[v.job_id]
+
+    def ready_queries(self) -> list[int]:
+        """All queries currently held in READY (diagnostics/valve)."""
+        return [qid for qid, v in self._v.items() if v.state is QueryState.READY]
+
+    def n_gating_edges(self) -> int:
+        """Number of implied (clique) gating edges."""
+        return sum(len(m) * (len(m) - 1) // 2 for m in self._groups.values())

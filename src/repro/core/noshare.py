@@ -1,0 +1,74 @@
+"""NoShare baseline scheduler (paper §VI).
+
+"NoShare evaluates each query independently (no I/O is shared) and in
+arrival order."  To model multiple queries executing *simultaneously*
+and competing for I/O — the contention the paper's introduction
+motivates — active queries are interleaved round-robin, one sub-query
+(atom) at a time, the way a conventional DBMS timeslices concurrent
+scans.  No co-scheduling happens: a batch contains exactly one
+sub-query of one query, even when other queries have pending work on
+the same atom (they will read it again themselves; only the buffer
+cache can save them, as it would under SQL Server).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.base import Batch, Scheduler
+from repro.workload.query import Query, SubQuery
+
+__all__ = ["NoShareScheduler"]
+
+
+class NoShareScheduler(Scheduler):
+    """Arrival-order, share-nothing execution with round-robin
+    interleaving of concurrent queries.
+
+    Parameters
+    ----------
+    max_concurrent:
+        Maximum queries interleaved at once; arrivals beyond it wait in
+        FIFO admission order (``None`` = unbounded, every active query
+        competes).
+    """
+
+    name = "NoShare"
+
+    def __init__(self, max_concurrent: Optional[int] = None) -> None:
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1 or None")
+        self._max_concurrent = max_concurrent
+        self._admission: deque[tuple[Query, deque[SubQuery]]] = deque()
+        self._active: deque[tuple[Query, deque[SubQuery]]] = deque()
+
+    def on_query_arrival(self, query: Query, subqueries: list[SubQuery], now: float) -> None:
+        if not subqueries:
+            return  # multi-node broadcast: no local work for this query
+        entry = (query, deque(subqueries))
+        if self._max_concurrent is not None and len(self._active) >= self._max_concurrent:
+            self._admission.append(entry)
+        else:
+            self._active.append(entry)
+
+    def _admit(self) -> None:
+        while self._admission and (
+            self._max_concurrent is None or len(self._active) < self._max_concurrent
+        ):
+            self._active.append(self._admission.popleft())
+
+    def next_batch(self, now: float) -> Optional[Batch]:
+        self._admit()
+        if not self._active:
+            return None
+        query, subs = self._active.popleft()
+        subquery = subs.popleft()
+        if subs:
+            self._active.append((query, subs))  # round-robin rotation
+        else:
+            self._admit()
+        return Batch(atoms=[(subquery.atom_id, [subquery])])
+
+    def has_pending(self) -> bool:
+        return bool(self._active) or bool(self._admission)

@@ -1,0 +1,150 @@
+"""Per-atom workload queues (paper §III-C, §V-C).
+
+The Workload Manager keeps, for every atom with pending requests, the
+union of all sub-query position sets against it, the age of the oldest
+pending sub-query, and whether the atom is currently cached (the
+``phi`` term of Eq. 1).  This module stores those aggregates in
+parallel NumPy arrays over dynamically allocated slots so the
+scheduling metrics vectorize over all active atoms in one shot —
+per-batch scheduling cost is a few array ops, not a Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.query import SubQuery
+
+__all__ = ["WorkloadQueues"]
+
+_GROW = 256
+
+
+class WorkloadQueues:
+    """Aggregated pending work, indexed by atom.
+
+    Slots are recycled: an atom gets a slot when its first sub-query
+    arrives and frees it when a batch drains the atom.  Cached flags
+    are maintained incrementally from buffer-cache listener callbacks.
+    """
+
+    def __init__(self, atoms_per_timestep: int) -> None:
+        self._atoms_per_timestep = atoms_per_timestep
+        self._slot_of: dict[int, int] = {}
+        self._free: list[int] = []
+        cap = _GROW
+        self._atom_ids = np.full(cap, -1, dtype=np.int64)
+        self._counts = np.zeros(cap, dtype=np.int64)
+        self._oldest = np.zeros(cap, dtype=np.float64)
+        self._cached = np.zeros(cap, dtype=bool)
+        self._subqueries: list[list[SubQuery]] = [[] for _ in range(cap)]
+        self._cached_atoms: set[int] = set()
+        self.total_positions = 0
+
+    # ------------------------------------------------------------------
+    # Slot management
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        old = len(self._atom_ids)
+        new = old + _GROW
+        self._atom_ids = np.concatenate([self._atom_ids, np.full(_GROW, -1, dtype=np.int64)])
+        self._counts = np.concatenate([self._counts, np.zeros(_GROW, dtype=np.int64)])
+        self._oldest = np.concatenate([self._oldest, np.zeros(_GROW)])
+        self._cached = np.concatenate([self._cached, np.zeros(_GROW, dtype=bool)])
+        self._subqueries.extend([] for _ in range(_GROW))
+        self._free.extend(range(old, new))
+
+    def _slot_for(self, atom_id: int, now: float) -> int:
+        slot = self._slot_of.get(atom_id)
+        if slot is not None:
+            return slot
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        self._slot_of[atom_id] = slot
+        self._atom_ids[slot] = atom_id
+        self._counts[slot] = 0
+        self._oldest[slot] = now
+        self._cached[slot] = atom_id in self._cached_atoms
+        self._subqueries[slot] = []
+        return slot
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, subquery: SubQuery, now: float) -> None:
+        """Append a sub-query to its atom's workload queue."""
+        slot = self._slot_for(subquery.atom_id, now)
+        self._counts[slot] += subquery.n_positions
+        self._subqueries[slot].append(subquery)
+        self.total_positions += subquery.n_positions
+
+    def pop_atom(self, atom_id: int) -> list[SubQuery]:
+        """Drain an atom's queue (the batch takes every pending
+        sub-query in one pass over the data)."""
+        slot = self._slot_of.pop(atom_id)
+        subs = self._subqueries[slot]
+        self.total_positions -= int(self._counts[slot])
+        self._subqueries[slot] = []
+        self._atom_ids[slot] = -1
+        self._counts[slot] = 0
+        self._free.append(slot)
+        return subs
+
+    # -- cache residency listeners ------------------------------------------
+    def on_cache_insert(self, atom_id: int) -> None:
+        self._cached_atoms.add(atom_id)
+        slot = self._slot_of.get(atom_id)
+        if slot is not None:
+            self._cached[slot] = True
+
+    def on_cache_evict(self, atom_id: int) -> None:
+        self._cached_atoms.discard(atom_id)
+        slot = self._slot_of.get(atom_id)
+        if slot is not None:
+            self._cached[slot] = False
+
+    # ------------------------------------------------------------------
+    # Views for metric computation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, atom_id: int) -> bool:
+        return atom_id in self._slot_of
+
+    def active_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(atom_ids, counts, oldest_arrival, cached)`` over active slots.
+
+        Arrays are fresh copies in a stable (slot-index) order; callers
+        may mutate them freely.
+        """
+        if not self._slot_of:
+            empty = np.empty(0)
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                empty,
+                np.empty(0, dtype=bool),
+            )
+        slots = np.fromiter(self._slot_of.values(), dtype=np.int64, count=len(self._slot_of))
+        return (
+            self._atom_ids[slots],
+            self._counts[slots],
+            self._oldest[slots],
+            self._cached[slots],
+        )
+
+    def positions_pending(self, atom_id: int) -> int:
+        """Total queued positions against one atom (0 when idle)."""
+        slot = self._slot_of.get(atom_id)
+        return int(self._counts[slot]) if slot is not None else 0
+
+    def oldest_arrival(self, atom_id: int) -> float:
+        """Arrival time of the atom's oldest pending sub-query."""
+        slot = self._slot_of[atom_id]
+        return float(self._oldest[slot])
+
+    def timesteps_of(self, atom_ids: np.ndarray) -> np.ndarray:
+        """Vectorized packed-id -> time step."""
+        return atom_ids // self._atoms_per_timestep

@@ -1,0 +1,27 @@
+"""Query lifecycle states (paper §IV-B).
+
+``S(q) -> [WAIT, READY, QUEUE, DONE]``:
+
+* ``WAIT`` — precedence constraints unsatisfied: the query's
+  predecessor in its ordered job has not completed (in the engine,
+  the query has not *arrived* yet — ordered-job followers arrive only
+  after the predecessor's result plus user think time).
+* ``READY`` — precedence satisfied, but gating constraints are not:
+  some gating partner has not arrived.
+* ``QUEUE`` — all constraints satisfied; the query's sub-queries are in
+  the workload queues awaiting batch execution.
+* ``DONE`` — completed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["QueryState"]
+
+
+class QueryState(enum.Enum):
+    WAIT = "wait"
+    READY = "ready"
+    QUEUE = "queue"
+    DONE = "done"

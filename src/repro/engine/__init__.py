@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate.
+
+Replays a trace against one or more scheduler instances (one per
+cluster node) with a virtual clock, the calibrated cost model, and the
+simulated storage stack.  All figures and tables are produced by
+:func:`repro.engine.runner.run_trace`.
+"""
+
+from repro.engine.events import EventKind
+from repro.engine.executor import BatchExecutor
+from repro.engine.results import RunResult
+from repro.engine.runner import make_scheduler, run_trace
+from repro.engine.simulator import Simulator
+
+__all__ = [
+    "EventKind",
+    "BatchExecutor",
+    "RunResult",
+    "Simulator",
+    "run_trace",
+    "make_scheduler",
+]

@@ -1,0 +1,30 @@
+"""Event records for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.IntEnum):
+    """Event types, ordered by dispatch priority at equal timestamps:
+    job submissions must precede their own query arrivals, and batch
+    completions at time t free the executor before new work at t is
+    considered."""
+
+    BATCH_DONE = 0
+    JOB_SUBMIT = 1
+    QUERY_ARRIVAL = 2
+
+
+@dataclass(order=True)
+class Event:
+    """Heap entry.  ``seq`` breaks ties deterministically."""
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)

@@ -1,0 +1,106 @@
+"""Simulation results: the numbers every figure and table is built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import RunObservation
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of replaying one trace under one scheduler.
+
+    Attributes
+    ----------
+    scheduler_name:
+        Human-readable scheduler identifier.
+    n_queries / n_jobs:
+        Completed counts.
+    makespan:
+        First arrival to last completion, engine seconds.
+    response_times:
+        Per-query response time (arrival → completion), engine seconds,
+        in completion order.
+    job_durations:
+        job id → first-query arrival to last-query completion.
+    runs:
+        Per-run observations (adaptive-α inputs).
+    alpha_history:
+        α after each run for adaptive schedulers, else empty.
+    cache / disk / exec:
+        Snapshot dicts from the storage stack (summed over nodes).
+    forced_releases:
+        Gated queries released by the liveness valve (should be 0).
+    gating_overhead_ns / cache_overhead_ns:
+        Measured wall-clock bookkeeping cost (Table I's overhead).
+    """
+
+    scheduler_name: str
+    n_queries: int
+    n_jobs: int
+    makespan: float
+    response_times: np.ndarray
+    job_durations: dict[int, float]
+    runs: list[RunObservation] = field(default_factory=list)
+    alpha_history: list[float] = field(default_factory=list)
+    cache: dict = field(default_factory=dict)
+    disk: dict = field(default_factory=dict)
+    exec: dict = field(default_factory=dict)
+    forced_releases: int = 0
+    gating_overhead_ns: int = 0
+    cache_overhead_ns: int = 0
+
+    # -- headline numbers ---------------------------------------------------
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per engine second (the Fig. 10/11a axis)."""
+        return self.n_queries / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        return float(self.response_times.mean()) if len(self.response_times) else 0.0
+
+    @property
+    def median_response_time(self) -> float:
+        return float(np.median(self.response_times)) if len(self.response_times) else 0.0
+
+    @property
+    def p95_response_time(self) -> float:
+        return (
+            float(np.percentile(self.response_times, 95)) if len(self.response_times) else 0.0
+        )
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return float(self.cache.get("hit_ratio", 0.0))
+
+    @property
+    def seconds_per_query(self) -> float:
+        """Engine seconds of service per completed query (Table I's
+        Seconds/Qry column)."""
+        busy = float(self.exec.get("busy_seconds", 0.0))
+        return busy / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def cache_overhead_ms_per_query(self) -> float:
+        """Measured cache-policy bookkeeping per query, milliseconds."""
+        return self.cache_overhead_ns / 1e6 / self.n_queries if self.n_queries else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for experiment tables."""
+        return {
+            "scheduler": self.scheduler_name,
+            "queries": self.n_queries,
+            "throughput_qps": self.throughput_qps,
+            "mean_rt": self.mean_response_time,
+            "median_rt": self.median_response_time,
+            "p95_rt": self.p95_response_time,
+            "cache_hit": self.cache_hit_ratio,
+            "sec_per_qry": self.seconds_per_query,
+            "makespan": self.makespan,
+        }

@@ -1,0 +1,328 @@
+"""Discrete-event simulator: replays a trace through scheduler(s).
+
+One :class:`Simulator` owns the virtual clock, the event heap, and one
+*node* per scheduler instance — a node bundles a scheduler, a buffer
+cache, a disk and a batch executor, mirroring the Turbulence cluster's
+architecture of "data partitioned spatially and stored across different
+nodes, each running a separate JAWS instance" (§V-C, Fig. 7).  The
+single-node case (the paper's evaluation setup) is ``len(schedulers)
+== 1``.
+
+Lifecycle of a query (paper Fig. 1 + §IV-B):
+
+1. its job's ``JOB_SUBMIT`` fires; ordered jobs emit the first query's
+   ``QUERY_ARRIVAL``, batched jobs emit all of them;
+2. on arrival the pre-processor splits it into per-atom sub-queries
+   which are routed to nodes and handed to each node's scheduler;
+3. idle nodes pull batches; batch completion decrements the query's
+   outstanding sub-query count;
+4. at zero the query completes: response time is recorded, and an
+   ordered job's next query arrives after user think time.
+
+Runs of ``run_length`` completions trigger the adaptive-α and SLRU
+run-boundary hooks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.base import make_policy
+from repro.config import CacheConfig, EngineConfig
+from repro.core.base import Batch, RunObservation, Scheduler
+from repro.core.contention import ContentionSchedulerBase
+from repro.engine.events import Event, EventKind
+from repro.engine.executor import BatchExecutor
+from repro.engine.results import RunResult
+from repro.grid.atoms import AtomMapper
+from repro.grid.interpolation import InterpolationSpec
+from repro.storage.buffer import BufferCache
+from repro.storage.disk import DiskModel
+from repro.workload.job import Job
+from repro.workload.query import Query, preprocess_query
+from repro.workload.trace import Trace
+
+__all__ = ["Simulator", "build_policy"]
+
+
+def build_policy(config: CacheConfig):
+    """Instantiate the configured replacement policy with its knobs."""
+    if config.policy == "slru":
+        return make_policy(
+            "slru",
+            capacity=config.capacity_atoms,
+            protected_fraction=config.protected_fraction,
+        )
+    if config.policy == "lruk":
+        return make_policy("lruk", k=config.lruk_k)
+    return make_policy(config.policy)
+
+
+class _Node:
+    """One cluster node: scheduler + cache + disk + executor."""
+
+    def __init__(self, scheduler: Scheduler, spec, config: EngineConfig) -> None:
+        self.scheduler = scheduler
+        self.cache = BufferCache(config.cache.capacity_atoms, build_policy(config.cache))
+        self.disk = DiskModel(config.cost, spec.n_atoms)
+        self.executor = BatchExecutor(
+            spec,
+            config.cost,
+            self.cache,
+            self.disk,
+            InterpolationSpec(order=config.interpolation_order),
+        )
+        self.busy = False
+        if isinstance(scheduler, ContentionSchedulerBase):
+            scheduler.bind_cache(self.cache)
+
+
+class Simulator:
+    """Replay ``trace`` through one scheduler per node.
+
+    Parameters
+    ----------
+    trace:
+        The workload.
+    schedulers:
+        One scheduler instance per node (fresh — schedulers are
+        stateful and single-use).
+    config:
+        Engine configuration.
+    node_of:
+        Maps a packed atom id to its owning node index; defaults to a
+        single node.  Must be consistent with ``len(schedulers)``.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        schedulers: Sequence[Scheduler],
+        config: Optional[EngineConfig] = None,
+        node_of: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        if not schedulers:
+            raise ValueError("need at least one scheduler")
+        self.trace = trace
+        self.config = config or EngineConfig()
+        self.spec = trace.spec
+        self.mapper = AtomMapper(self.spec)
+        self.nodes = [_Node(s, self.spec, self.config) for s in schedulers]
+        self._node_of = node_of or (lambda atom_id: 0)
+
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.clock = 0.0
+        self._last_completion = 0.0
+
+        # Query bookkeeping.
+        self._arrival: dict[int, float] = {}
+        self._remaining: dict[int, int] = {}
+        self._job_of: dict[int, Job] = {}
+        self._job_left: dict[int, int] = {}
+        self._job_first_arrival: dict[int, float] = {}
+
+        # Results accumulation.
+        self._response_times: list[float] = []
+        self._job_durations: dict[int, float] = {}
+        self._completed = 0
+        self._runs: list[RunObservation] = []
+        self._run_start = 0.0
+        self._run_responses: list[float] = []
+        self.forced_releases = 0
+
+        self._job_index = {job.job_id: job for job in trace.jobs}
+        for job in trace.jobs:
+            self._push(job.submit_time, EventKind.JOB_SUBMIT, job)
+
+    # ------------------------------------------------------------------
+    def _push(self, time_: float, kind: EventKind, payload) -> None:
+        heapq.heappush(self._heap, Event(time_, kind, self._seq, payload))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _dispatch(self, ev: Event) -> None:
+        if ev.kind is EventKind.JOB_SUBMIT:
+            self._on_job_submit(ev.payload, ev.time)
+        elif ev.kind is EventKind.QUERY_ARRIVAL:
+            self._on_query_arrival(ev.payload, ev.time)
+        else:
+            self._on_batch_done(*ev.payload, now=ev.time)
+
+    def _on_job_submit(self, job: Job, now: float) -> None:
+        self._job_left[job.job_id] = job.n_queries
+        for node in self.nodes:
+            node.scheduler.on_job_submitted(job, now)
+        if job.is_ordered:
+            self._push(now, EventKind.QUERY_ARRIVAL, job.queries[0])
+        else:
+            for q in job.queries:
+                self._push(now, EventKind.QUERY_ARRIVAL, q)
+
+    def _on_query_arrival(self, query: Query, now: float) -> None:
+        self._arrival[query.query_id] = now
+        self._job_first_arrival.setdefault(query.job_id, now)
+        self._job_of[query.query_id] = self._job_index[query.job_id]
+        subqueries = preprocess_query(query, self.mapper)
+        self._remaining[query.query_id] = len(subqueries)
+        by_node: dict[int, list] = {}
+        for sq in subqueries:
+            by_node.setdefault(self._node_of(sq.atom_id), []).append(sq)
+        # Every node hears every arrival (possibly with no local
+        # sub-queries) so per-node gating state advances even for
+        # queries whose data lives elsewhere.
+        for node_idx, node in enumerate(self.nodes):
+            node.scheduler.on_query_arrival(query, by_node.get(node_idx, []), now)
+
+    def _on_batch_done(self, node_idx: int, batch: Batch, now: float) -> None:
+        node = self.nodes[node_idx]
+        node.busy = False
+        for _, subqueries in batch.atoms:
+            for sq in subqueries:
+                qid = sq.query.query_id
+                self._remaining[qid] -= 1
+                if self._remaining[qid] == 0:
+                    self._complete_query(sq.query, now)
+
+    def _complete_query(self, query: Query, now: float) -> None:
+        del self._remaining[query.query_id]
+        self._last_completion = now
+        response = now - self._arrival.pop(query.query_id)
+        self._response_times.append(response)
+        self._run_responses.append(response)
+        self._completed += 1
+        for node in self.nodes:
+            node.scheduler.on_query_complete(query, now)
+
+        job = self._job_of.pop(query.query_id)
+        self._job_left[job.job_id] -= 1
+        if self._job_left[job.job_id] == 0:
+            self._job_durations[job.job_id] = now - self._job_first_arrival[job.job_id]
+        elif job.is_ordered and query.seq + 1 < job.n_queries:
+            self._push(
+                now + job.think_time, EventKind.QUERY_ARRIVAL, job.queries[query.seq + 1]
+            )
+
+        if self._completed % self.config.run_length == 0:
+            self._run_boundary(now)
+
+    def _run_boundary(self, now: float) -> None:
+        elapsed = now - self._run_start
+        obs = RunObservation(
+            run_index=len(self._runs),
+            mean_response_time=float(np.mean(self._run_responses)),
+            throughput=len(self._run_responses) / elapsed if elapsed > 0 else 0.0,
+        )
+        self._runs.append(obs)
+        self._run_start = now
+        self._run_responses.clear()
+        for node in self.nodes:
+            node.scheduler.on_run_boundary(obs)
+            node.cache.run_boundary()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _start_batches(self) -> None:
+        for idx, node in enumerate(self.nodes):
+            if node.busy:
+                continue
+            batch = node.scheduler.next_batch(self.clock)
+            if batch is None or batch.n_atoms == 0:
+                continue
+            duration = node.executor.execute(batch, self.clock)
+            node.busy = True
+            self._push(self.clock + duration, EventKind.BATCH_DONE, (idx, batch))
+
+    def _any_pending(self) -> bool:
+        return any(n.scheduler.has_pending() for n in self.nodes) or bool(self._remaining)
+
+    def run(self) -> RunResult:
+        """Replay the whole trace; returns the accumulated results."""
+        while True:
+            # Drain every event at the current instant before making
+            # scheduling decisions, so same-time arrivals can batch.
+            while self._heap and self._heap[0].time <= self.clock:
+                self._dispatch(heapq.heappop(self._heap))
+            self._start_batches()
+            if self._heap:
+                ev = heapq.heappop(self._heap)
+                self.clock = ev.time
+                if self.clock > self.config.max_sim_time:
+                    raise RuntimeError(
+                        f"virtual clock exceeded max_sim_time={self.config.max_sim_time}"
+                    )
+                self._dispatch(ev)
+                continue
+            if self._any_pending():
+                released = False
+                for node in self.nodes:
+                    released |= node.scheduler.force_release(self.clock)
+                if not released:
+                    raise RuntimeError(
+                        "livelock: pending queries but no schedulable work"
+                    )
+                self.forced_releases += 1
+                continue
+            break
+        return self._result()
+
+    # ------------------------------------------------------------------
+    def _result(self) -> RunResult:
+        responses = np.asarray(self._response_times, dtype=np.float64)
+        arr_min = min((j.submit_time for j in self.trace.jobs), default=0.0)
+        # First submit to last completion: trailing idle work (e.g. a
+        # final speculative prefetch batch) must not inflate makespan.
+        makespan = self._last_completion - arr_min if self._response_times else 0.0
+        cache = {"hits": 0, "misses": 0, "evictions": 0, "overhead_ns": 0}
+        disk = {"reads": 0, "sequential_reads": 0, "seconds": 0.0}
+        execs = {
+            "batches": 0,
+            "atoms_executed": 0,
+            "neighbor_reads": 0,
+            "positions": 0,
+            "busy_seconds": 0.0,
+        }
+        gating_ns = 0
+        sched_forced = 0
+        alpha_history: list[float] = []
+        for node in self.nodes:
+            for key, val in node.cache.stats.snapshot().items():
+                if key != "hit_ratio":
+                    cache[key] += val
+            for key, val in node.disk.stats.snapshot().items():
+                disk[key] += val
+            st = node.executor.stats
+            execs["batches"] += st.batches
+            execs["atoms_executed"] += st.atoms_executed
+            execs["neighbor_reads"] += st.neighbor_reads
+            execs["positions"] += st.positions
+            execs["busy_seconds"] += st.busy_seconds
+            gating_ns += getattr(node.scheduler, "gating_overhead_ns", 0)
+            sched_forced += getattr(node.scheduler, "forced_releases", 0)
+            history = getattr(node.scheduler, "alpha_history", None)
+            if history:
+                alpha_history = history
+        accesses = cache["hits"] + cache["misses"]
+        cache["hit_ratio"] = cache["hits"] / accesses if accesses else 0.0
+        return RunResult(
+            scheduler_name=self.nodes[0].scheduler.name,
+            n_queries=len(responses),
+            n_jobs=len(self._job_durations),
+            makespan=makespan,
+            response_times=responses,
+            job_durations=dict(self._job_durations),
+            runs=list(self._runs),
+            alpha_history=alpha_history,
+            cache=cache,
+            disk=disk,
+            exec=execs,
+            forced_releases=self.forced_releases + sched_forced,
+            gating_overhead_ns=gating_ns,
+            cache_overhead_ns=cache["overhead_ns"],
+        )

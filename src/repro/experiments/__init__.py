@@ -1,0 +1,25 @@
+"""Experiment harnesses regenerating every figure and table of §VI.
+
+Each ``figNN``/``table1`` module exposes a ``run(scale=...)`` function
+returning plain dicts/series plus a ``render`` helper that prints the
+paper-style rows; the ``benchmarks/`` tree wraps these for
+pytest-benchmark, and EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    standard_engine,
+    standard_params,
+    standard_scheduler_config,
+    standard_spec,
+    standard_trace,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "standard_spec",
+    "standard_params",
+    "standard_engine",
+    "standard_scheduler_config",
+    "standard_trace",
+]

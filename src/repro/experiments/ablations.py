@@ -1,0 +1,154 @@
+"""Ablation experiments for design choices called out in DESIGN.md.
+
+* ``urc_vs_saturation`` — §VII claim: "the relative benefit of URC
+  improves with increased workload saturation".
+* ``metric_normalization`` — our min–max normalization of Eq. 2 vs the
+  paper's raw unit-mixing formula.
+* ``gating_ablation`` — job-awareness on/off at fixed k and α policy
+  (a cleaner isolation than JAWS₁-vs-JAWS₂, which also flips naming).
+* ``seq_discount`` — uniform-cost disk (the paper's assumption) vs a
+  sequential-read discount: how much Morton-ordered batching would
+  additionally buy on a seek-bound disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import MetricConfig
+from repro.engine.runner import run_trace
+from repro.experiments.common import (
+    STANDARD_SPEEDUP,
+    ExperimentScale,
+    standard_engine,
+    standard_scheduler_config,
+    standard_trace,
+)
+from repro.experiments.report import render_series, render_table
+
+__all__ = [
+    "urc_vs_saturation",
+    "metric_normalization",
+    "gating_ablation",
+    "seq_discount",
+]
+
+
+def urc_vs_saturation(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    speedups: tuple[float, ...] = (1.0, 4.0, 16.0),
+    seed: int = 7,
+) -> dict:
+    """URC-over-LRU-K throughput gain per saturation level."""
+    engine = standard_engine()
+    gains = []
+    for speedup in speedups:
+        trace = standard_trace(scale, speedup=speedup, seed=seed)
+        per_policy = {}
+        for policy in ("lruk", "urc"):
+            eng = dataclasses.replace(
+                engine, cache=dataclasses.replace(engine.cache, policy=policy)
+            )
+            per_policy[policy] = run_trace(trace, "jaws2", eng).throughput_qps
+        gains.append(per_policy["urc"] / per_policy["lruk"])
+    return {"speedups": list(speedups), "urc_gain": gains}
+
+
+def metric_normalization(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    speedup: float = STANDARD_SPEEDUP,
+    seed: int = 7,
+) -> dict:
+    """JAWS₂ with normalized vs raw aged metric (fixed α = 0.5)."""
+    trace = standard_trace(scale, speedup=speedup, seed=seed)
+    engine = standard_engine()
+    out = {}
+    for label, normalize in (("normalized", True), ("raw", False)):
+        cfg = standard_scheduler_config(
+            adaptive_alpha=False, metric=MetricConfig(normalize=normalize)
+        )
+        result = run_trace(trace, "jaws2", engine, cfg)
+        out[label] = {
+            "throughput_qps": result.throughput_qps,
+            "mean_rt": result.mean_response_time,
+        }
+    return out
+
+
+def gating_ablation(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    speedup: float = STANDARD_SPEEDUP,
+    seed: int = 7,
+) -> dict:
+    """Job-awareness on/off with everything else held fixed."""
+    trace = standard_trace(scale, speedup=speedup, seed=seed)
+    engine = standard_engine()
+    out = {}
+    for label, aware in (("gated", True), ("ungated", False)):
+        cfg = standard_scheduler_config(job_aware=aware)
+        result = run_trace(trace, "jaws2" if aware else "jaws1", engine, cfg)
+        out[label] = {
+            "throughput_qps": result.throughput_qps,
+            "disk_reads": result.disk["reads"],
+            "mean_rt": result.mean_response_time,
+        }
+    out["throughput_gain"] = (
+        out["gated"]["throughput_qps"] / out["ungated"]["throughput_qps"]
+        if out["ungated"]["throughput_qps"]
+        else 0.0
+    )
+    return out
+
+
+def seq_discount(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    speedup: float = STANDARD_SPEEDUP,
+    discounts: tuple[float, ...] = (1.0, 0.5, 0.25),
+    seed: int = 7,
+) -> dict:
+    """JAWS₂ and NoShare under increasingly seek-bound disk models."""
+    trace = standard_trace(scale, speedup=speedup, seed=seed)
+    engine = standard_engine()
+    rows = []
+    for disc in discounts:
+        eng = dataclasses.replace(
+            engine, cost=dataclasses.replace(engine.cost, seq_discount=disc)
+        )
+        jaws = run_trace(trace, "jaws2", eng)
+        noshare = run_trace(trace, "noshare", eng)
+        rows.append(
+            {
+                "discount": disc,
+                "jaws2_qps": jaws.throughput_qps,
+                "noshare_qps": noshare.throughput_qps,
+                "jaws2_seq_frac": jaws.disk["sequential_reads"] / max(jaws.disk["reads"], 1),
+                "noshare_seq_frac": noshare.disk["sequential_reads"]
+                / max(noshare.disk["reads"], 1),
+            }
+        )
+    return {"rows": rows}
+
+
+def render_urc(data: dict) -> str:
+    return render_series(
+        "Ablation — URC throughput gain over LRU-K vs saturation",
+        data["speedups"],
+        data["urc_gain"],
+        "speedup",
+    )
+
+
+def render_seq(data: dict) -> str:
+    return render_table(
+        ["discount", "jaws2_qps", "noshare_qps", "jaws2_seq%", "noshare_seq%"],
+        [
+            (r["discount"], r["jaws2_qps"], r["noshare_qps"], r["jaws2_seq_frac"], r["noshare_seq_frac"])
+            for r in data["rows"]
+        ],
+        title="Ablation — sequential-read discount",
+    )
+
+
+if __name__ == "__main__":
+    print(render_urc(urc_vs_saturation()))
+    print(render_seq(seq_discount()))

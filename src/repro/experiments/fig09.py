@@ -1,0 +1,62 @@
+"""Figure 9: distribution of queries by time step accessed.
+
+Paper: 70 % of queries reuse data from about a dozen time steps,
+clustered at the start and end of simulation time, with a spike around
+0.25–0.4 s and an overall downward trend (long jobs terminate midway).
+This is a property of the workload itself, so the experiment
+characterizes the generated trace directly.
+
+Scale note: the paper's dozen steps are 1.2 % of its 1024 stored steps,
+while this reproduction stores 31 steps (like the paper's 800 GB
+evaluation sample), so a dozen steps is 39 % of the axis and tracking
+trajectories smear popularity across a large share of bins.  The
+comparable quantity is the *margin over uniform*: top-12 share well
+above 12/31 ≈ 0.39, strong start/end clustering, and the downward
+trend — all of which the bench asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentScale, standard_spec, standard_trace
+from repro.experiments.report import render_series
+from repro.workload.stats import queries_per_timestep
+
+
+def run(scale: ExperimentScale = ExperimentScale.SMALL) -> dict:
+    """Returns the per-time-step query counts and headline shares."""
+    trace = standard_trace(scale, speedup=1.0)
+    counts = queries_per_timestep(trace)
+    spec = standard_spec()
+    total = counts.sum()
+    top12 = int(min(12, len(counts)))
+    top12_share = float(np.sort(counts)[::-1][:top12].sum() / total) if total else 0.0
+    n = len(counts)
+    edge_share = float((counts[: n // 4].sum() + counts[-(n // 4) :].sum()) / total)
+    half = n // 2
+    return {
+        "sim_times": [round(t * spec.dt, 4) for t in range(n)],
+        "counts": counts.tolist(),
+        "top12_share": top12_share,
+        "edge_share": edge_share,
+        "first_half_share": float(counts[:half].sum() / total),
+        "paper_top12_share": 0.70,
+    }
+
+
+def render(data: dict) -> str:
+    lines = [
+        render_series(
+            "Fig. 9 — queries per time step", data["sim_times"], data["counts"], "sim t (s)"
+        ),
+        f"top-12 time-step share: measured {data['top12_share']:.2f} "
+        f"(paper ~{data['paper_top12_share']:.2f})",
+        f"start/end-quarter share: {data['edge_share']:.2f}; "
+        f"first-half share: {data['first_half_share']:.2f} (downward trend)",
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(run()))

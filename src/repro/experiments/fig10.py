@@ -1,0 +1,74 @@
+"""Figure 10: query throughput by scheduling algorithm.
+
+Paper (at high contention): JAWS₂ ≈ 2.6× NoShare; removing
+job-awareness (JAWS₁) costs ≈ 30 %; two-level scheduling is ≈ +12 %
+over LifeRaft₂; LifeRaft₂ ≈ +22 % over LifeRaft₁ from cache reuse.
+"""
+
+from __future__ import annotations
+
+from repro.engine.runner import SCHEDULER_NAMES, run_trace
+from repro.experiments.common import (
+    STANDARD_SPEEDUP,
+    ExperimentScale,
+    standard_engine,
+    standard_trace,
+)
+from repro.experiments.report import render_table
+
+#: Throughput of each algorithm relative to NoShare, read off Fig. 10.
+PAPER_RELATIVE = {
+    "noshare": 1.0,
+    "liferaft1": 1.33,
+    "liferaft2": 1.62,
+    "jaws1": 1.82,
+    "jaws2": 2.6,
+}
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    speedup: float = STANDARD_SPEEDUP,
+    seed: int = 7,
+) -> dict:
+    """Replay the standard trace under all five schedulers."""
+    trace = standard_trace(scale, speedup=speedup, seed=seed)
+    engine = standard_engine()
+    rows = {}
+    for name in SCHEDULER_NAMES:
+        result = run_trace(trace, name, engine)
+        rows[name] = {
+            "throughput_qps": result.throughput_qps,
+            "mean_rt": result.mean_response_time,
+            "disk_reads": result.disk["reads"],
+            "cache_hit": result.cache_hit_ratio,
+        }
+    base = rows["noshare"]["throughput_qps"]
+    for name in rows:
+        rows[name]["relative"] = rows[name]["throughput_qps"] / base if base else 0.0
+        rows[name]["paper_relative"] = PAPER_RELATIVE[name]
+    return {"rows": rows, "n_queries": trace.n_queries}
+
+
+def render(data: dict) -> str:
+    rows = [
+        (
+            name,
+            v["throughput_qps"],
+            v["relative"],
+            v["paper_relative"],
+            v["mean_rt"],
+            v["cache_hit"],
+            v["disk_reads"],
+        )
+        for name, v in data["rows"].items()
+    ]
+    return render_table(
+        ["scheduler", "qps", "rel", "paper_rel", "mean_rt_s", "cache_hit", "reads"],
+        rows,
+        title=f"Fig. 10 — query throughput by algorithm ({int(data['n_queries'])} queries)",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,57 @@
+"""Figure 11: sensitivity of throughput (a) and response time (b) to
+workload saturation.
+
+Paper: as the speed-up factor grows, contention-based schedulers
+(JAWS₂, LifeRaft₂) keep scaling with the extra sharing opportunities
+while arrival-order schedulers (NoShare, LifeRaft₁) plateau early
+(~0.3 q/s); JAWS₂ stays ahead even at low saturation thanks to
+job-awareness.  For response time, NoShare is worst everywhere,
+LifeRaft₂ is poor even at low saturation (it can delay queries
+indefinitely), and adaptive JAWS tracks the throughput-maximizers at
+high saturation while beating LifeRaft₁ at the lowest saturation.
+"""
+
+from __future__ import annotations
+
+from repro.engine.runner import run_trace
+from repro.experiments.common import ExperimentScale, standard_engine, standard_trace
+from repro.experiments.report import render_series
+
+DEFAULT_SPEEDUPS = (1.0, 2.0, 4.0, 8.0, 16.0)
+SCHEDULERS = ("noshare", "liferaft1", "liferaft2", "jaws2")
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    speedups: tuple[float, ...] = DEFAULT_SPEEDUPS,
+    seed: int = 7,
+) -> dict:
+    """Returns throughput and mean-response-time series per scheduler."""
+    engine = standard_engine()
+    throughput: dict[str, list[float]] = {s: [] for s in SCHEDULERS}
+    response: dict[str, list[float]] = {s: [] for s in SCHEDULERS}
+    for speedup in speedups:
+        trace = standard_trace(scale, speedup=speedup, seed=seed)
+        for name in SCHEDULERS:
+            result = run_trace(trace, name, engine)
+            throughput[name].append(result.throughput_qps)
+            response[name].append(result.mean_response_time)
+    return {
+        "speedups": list(speedups),
+        "throughput": throughput,
+        "response_time": response,
+    }
+
+
+def render(data: dict) -> str:
+    lines = ["Fig. 11a — throughput vs saturation"]
+    for name, ys in data["throughput"].items():
+        lines.append(render_series(f"  {name}", data["speedups"], ys, "speedup"))
+    lines.append("Fig. 11b — mean response time vs saturation")
+    for name, ys in data["response_time"].items():
+        lines.append(render_series(f"  {name}", data["speedups"], ys, "speedup"))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render(run()))

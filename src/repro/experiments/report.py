@@ -1,0 +1,52 @@
+"""Plain-text rendering of experiment results (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
+) -> str:
+    """Fixed-width table; floats formatted to 3 significant decimals."""
+    def fmt(v):
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence, ys: Sequence[float], x_label: str = "x") -> str:
+    """One figure series as aligned x/y rows with a text sparkline."""
+    lines = [f"{name} ({x_label} -> value)"]
+    y_max = max(ys) if ys else 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * int(round(30 * y / y_max)) if y_max > 0 else ""
+        lines.append(f"  {str(x):>8}  {y:10.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def render_kv(title: str, values: Mapping[str, float]) -> str:
+    lines = [title]
+    width = max((len(k) for k in values), default=0)
+    for k, v in values.items():
+        if isinstance(v, float):
+            lines.append(f"  {k.ljust(width)}  {v:.4f}")
+        else:
+            lines.append(f"  {k.ljust(width)}  {v}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Table I: performance and overhead of the caching algorithms.
+
+Paper (2 GB cache under the full JAWS stack):
+
+=======  =========  ===========  ============
+policy   cache hit  seconds/qry  overhead/qry
+=======  =========  ===========  ============
+LRU-K    47 %       1.62         (not meas.)
+SLRU     49 %       1.56         < 1 ms
+URC      54 %       1.39         7 ms
+=======  =========  ===========  ============
+
+We measure the same three columns: hit ratio and simulated
+seconds-per-query from the engine, and the *real* wall-clock
+bookkeeping cost of the policy code per completed query (URC's
+rank maintenance is the expensive one).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine.runner import run_trace
+from repro.experiments.common import (
+    STANDARD_SPEEDUP,
+    ExperimentScale,
+    standard_engine,
+    standard_trace,
+)
+from repro.experiments.report import render_table
+
+POLICIES = ("lruk", "slru", "urc")
+
+PAPER = {
+    "lruk": {"cache_hit": 0.47, "sec_per_qry": 1.62, "overhead_ms": None},
+    "slru": {"cache_hit": 0.49, "sec_per_qry": 1.56, "overhead_ms": 1.0},
+    "urc": {"cache_hit": 0.54, "sec_per_qry": 1.39, "overhead_ms": 7.0},
+}
+
+
+def run(
+    scale: ExperimentScale = ExperimentScale.SMALL,
+    speedup: float = STANDARD_SPEEDUP,
+    seed: int = 7,
+) -> dict:
+    """JAWS₂ with each replacement policy on the standard trace."""
+    trace = standard_trace(scale, speedup=speedup, seed=seed)
+    engine = standard_engine()
+    rows = {}
+    for policy in POLICIES:
+        eng = dataclasses.replace(
+            engine, cache=dataclasses.replace(engine.cache, policy=policy)
+        )
+        result = run_trace(trace, "jaws2", eng)
+        rows[policy] = {
+            "cache_hit": result.cache_hit_ratio,
+            "sec_per_qry": result.seconds_per_query,
+            "overhead_ms": result.cache_overhead_ms_per_query,
+            "throughput_qps": result.throughput_qps,
+        }
+    return {"rows": rows, "paper": PAPER}
+
+
+def render(data: dict) -> str:
+    rows = []
+    for policy, v in data["rows"].items():
+        p = data["paper"][policy]
+        rows.append(
+            (
+                policy.upper(),
+                v["cache_hit"],
+                p["cache_hit"],
+                v["sec_per_qry"],
+                p["sec_per_qry"],
+                v["overhead_ms"],
+                p["overhead_ms"] if p["overhead_ms"] is not None else "-",
+            )
+        )
+    return render_table(
+        ["policy", "hit", "hit(paper)", "s/qry", "s/qry(paper)", "ovh_ms", "ovh(paper)"],
+        rows,
+        title="Table I — cache replacement algorithms under JAWS2",
+    )
+
+
+if __name__ == "__main__":
+    print(render(run()))

@@ -1,0 +1,23 @@
+"""Turbulence data-model substrate.
+
+Models the Turbulence Database Cluster's data layout (paper §III-A):
+a time series of 3-D structured grids, partitioned into fixed-size
+``atom_side``³-voxel storage blocks ("atoms") that are the fundamental
+unit of I/O, linearized in Morton order, plus a synthetic turbulent
+velocity field that stands in for the DNS data when generating
+particle-tracking workloads.
+"""
+
+from repro.grid.atoms import AtomMapper
+from repro.grid.dataset import DatasetSpec
+from repro.grid.field import SyntheticTurbulence, advect_positions
+from repro.grid.interpolation import InterpolationSpec, stencil_atoms
+
+__all__ = [
+    "DatasetSpec",
+    "AtomMapper",
+    "SyntheticTurbulence",
+    "advect_positions",
+    "InterpolationSpec",
+    "stencil_atoms",
+]

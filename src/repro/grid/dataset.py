@@ -1,0 +1,119 @@
+"""Dataset geometry: grid, atoms, time steps.
+
+The production Turbulence database stores 1024 time steps of a
+:math:`1024^3` grid, split into :math:`64^3`-voxel atoms of ~8 MB, i.e.
+:math:`16^3 = 4096` atoms per time step.  The paper's evaluation uses an
+800 GB sample with 31 time steps.  Reproduction experiments shrink the
+atom grid (e.g. ``grid_side=512, atom_side=64`` → :math:`8^3 = 512`
+atoms per step) while keeping every structural property: Morton layout,
+per-step partitioning, replicated halos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.morton.index import MortonIndex
+
+__all__ = ["DatasetSpec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Immutable description of a simulated Turbulence dataset.
+
+    Attributes
+    ----------
+    grid_side:
+        Voxels per axis of the full grid (production: 1024).
+    atom_side:
+        Voxels per axis of one atom (production: 64).
+    n_timesteps:
+        Number of stored time steps (the paper's sample: 31).
+    dt:
+        Simulation seconds between consecutive stored time steps
+        (production: 2 s / 1024 steps ≈ 0.002 s).
+    halo:
+        Replicated voxels on each side of an atom (production: 4;
+        atoms are physically 72³).  Interpolation stencils that stay
+        within the halo need no neighbor-atom reads.
+    atom_bytes:
+        Size of one atom on disk, bytes (production: ~8 MB).
+    """
+
+    grid_side: int = 1024
+    atom_side: int = 64
+    n_timesteps: int = 31
+    dt: float = 0.002
+    halo: int = 4
+    atom_bytes: int = 8 << 20
+
+    def __post_init__(self) -> None:
+        if self.grid_side % self.atom_side != 0:
+            raise ValueError("grid_side must be a multiple of atom_side")
+        side = self.grid_side // self.atom_side
+        if side & (side - 1):
+            raise ValueError("atoms per axis must be a power of two")
+        if self.n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.halo < 0 or self.halo >= self.atom_side:
+            raise ValueError("halo must be in [0, atom_side)")
+        if self.atom_bytes < 1:
+            raise ValueError("atom_bytes must be positive")
+
+    @property
+    def atoms_per_axis(self) -> int:
+        """Atoms along each axis (production: 16)."""
+        return self.grid_side // self.atom_side
+
+    @property
+    def atoms_per_timestep(self) -> int:
+        """Atoms in one time step (production: 4096)."""
+        return self.atoms_per_axis**3
+
+    @property
+    def n_atoms(self) -> int:
+        """Total atoms across all time steps."""
+        return self.atoms_per_timestep * self.n_timesteps
+
+    @property
+    def duration(self) -> float:
+        """Simulated physical time span covered by the dataset."""
+        return self.dt * (self.n_timesteps - 1)
+
+    def morton_index(self) -> MortonIndex:
+        """Morton index over the atom grid of a single time step."""
+        return MortonIndex(self.atoms_per_axis)
+
+    # ------------------------------------------------------------------
+    # Atom-id packing: atom_id = timestep * atoms_per_timestep + morton.
+    # Plain ints keep workload queues and caches dict-fast.
+    # ------------------------------------------------------------------
+    def atom_id(self, timestep: int, morton: int) -> int:
+        """Pack ``(timestep, morton)`` into a single integer atom id."""
+        if not 0 <= timestep < self.n_timesteps:
+            raise ValueError(f"timestep {timestep} out of range")
+        if not 0 <= morton < self.atoms_per_timestep:
+            raise ValueError(f"morton code {morton} out of range")
+        return timestep * self.atoms_per_timestep + morton
+
+    def atom_timestep(self, atom_id: int) -> int:
+        """Time step of a packed atom id."""
+        return atom_id // self.atoms_per_timestep
+
+    def atom_morton(self, atom_id: int) -> int:
+        """Within-step Morton code of a packed atom id."""
+        return atom_id % self.atoms_per_timestep
+
+    @staticmethod
+    def small(n_timesteps: int = 31, atoms_per_axis: int = 8, dt: float = 0.002) -> "DatasetSpec":
+        """A laptop-scale spec with the production atom size but a
+        smaller spatial extent (``atoms_per_axis``³ atoms per step)."""
+        return DatasetSpec(
+            grid_side=64 * atoms_per_axis,
+            atom_side=64,
+            n_timesteps=n_timesteps,
+            dt=dt,
+        )

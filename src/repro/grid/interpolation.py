@@ -1,0 +1,173 @@
+"""Interpolation stencils and the atoms they touch.
+
+Turbulence queries evaluate Lagrangian interpolation kernels at
+arbitrary positions (paper §III-A, §V).  A kernel of order ``2h`` needs
+``h`` grid points on each side of the position; atoms carry a
+replicated halo (4 voxels in production) so most stencils are satisfied
+from the primary atom alone, but positions close to an atom face whose
+stencil exceeds the halo must also read the adjacent atom(s).
+
+Two-level scheduling exploits exactly this: co-scheduling a batch of
+``k`` Morton-adjacent atoms means a neighbor touched as part of one
+sub-query's stencil is likely the primary atom of another sub-query in
+the same batch, so it is read once (paper §V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.dataset import DatasetSpec
+from repro.morton.codec import morton_decode_scalar, morton_encode_unchecked
+
+__all__ = ["InterpolationSpec", "stencil_atoms", "subquery_neighbor_atoms"]
+
+
+@dataclass(frozen=True)
+class InterpolationSpec:
+    """Interpolation kernel description.
+
+    Attributes
+    ----------
+    order:
+        Lagrange polynomial order; the kernel needs ``order // 2`` grid
+        points on each side of the target position (production supports
+        4th, 6th and 8th order).
+    """
+
+    order: int = 8
+
+    def __post_init__(self) -> None:
+        if self.order < 2 or self.order % 2:
+            raise ValueError("order must be an even integer >= 2")
+
+    @property
+    def half_width(self) -> int:
+        """Grid points needed on each side of a position."""
+        return self.order // 2
+
+
+def stencil_atoms(
+    spec: DatasetSpec,
+    positions: np.ndarray,
+    timestep: int,
+    interp: InterpolationSpec,
+) -> np.ndarray:
+    """Unique packed atom ids a batch of stencils must read.
+
+    For each position, the stencil spans
+    ``[floor(p) - h + 1, floor(p) + h]`` per axis with
+    ``h = interp.half_width``.  The primary atom's halo covers ``halo``
+    voxels beyond each face, so a neighbor read is required on an axis
+    side only when the stencil extends further than the halo.
+
+    Returns the sorted unique atom ids (including primary atoms) needed
+    to evaluate all positions; callers diff against the primary set to
+    count extra neighbor I/O.
+    """
+    pos = np.mod(np.asarray(positions, dtype=np.float64), spec.grid_side)
+    if pos.ndim != 2 or pos.shape[1] != 3:
+        raise ValueError("positions must have shape (N, 3)")
+    h = interp.half_width
+    base = np.floor(pos).astype(np.int64)
+    lo = base - h + 1  # first grid point used, per axis
+    hi = base + h  # last grid point used, per axis
+
+    side = spec.atom_side
+    n_axis = spec.atoms_per_axis
+    primary = base // side  # (N, 3) atom coords
+
+    # Per-axis neighbor offset: -1 / +1 when the stencil exceeds the
+    # halo on that face, else 0.  The stencil is narrower than an atom,
+    # so a position never needs both sides of one axis.
+    atom_lo = primary * side
+    offset = (hi > atom_lo + side - 1 + spec.halo).astype(np.int64)
+    offset -= lo < atom_lo - spec.halo
+
+    primary_codes = morton_encode_unchecked(primary[:, 0], primary[:, 1], primary[:, 2])
+    needs = offset.any(axis=1)
+    if not needs.any():
+        unique = np.unique(primary_codes.astype(np.int64))
+        return timestep * spec.atoms_per_timestep + unique
+
+    # Only boundary positions expand; enumerate the up-to-8 corner
+    # combinations of their (possibly zero) per-axis offsets.
+    sub_primary = primary[needs]
+    sub_offset = offset[needs]
+    pieces = [primary_codes.astype(np.int64)]
+    for bits in range(1, 8):
+        mask = np.array([(bits >> a) & 1 for a in range(3)], dtype=np.int64)
+        delta = sub_offset * mask
+        if not delta.any():
+            continue
+        coords = (sub_primary + delta) % n_axis
+        pieces.append(
+            morton_encode_unchecked(coords[:, 0], coords[:, 1], coords[:, 2]).astype(np.int64)
+        )
+    unique = np.unique(np.concatenate(pieces))
+    return timestep * spec.atoms_per_timestep + unique
+
+
+# Sub-key expansion table: offset key (base-3 digits of dx,dy,dz each
+# +1) -> all axis-subset keys its stencil box overlaps.  A corner
+# offset (1,1,1) needs every sub-combination of its nonzero axes.
+def _subcombos(dx: int, dy: int, dz: int) -> list[tuple[int, int, int]]:
+    out = []
+    for bx in (0, dx) if dx else (0,):
+        for by in (0, dy) if dy else (0,):
+            for bz in (0, dz) if dz else (0,):
+                if bx or by or bz:
+                    out.append((bx, by, bz))
+    return out
+
+
+_SUBCOMBO_TABLE: dict[int, list[tuple[int, int, int]]] = {
+    (dx + 1) * 9 + (dy + 1) * 3 + (dz + 1): _subcombos(dx, dy, dz)
+    for dx in (-1, 0, 1)
+    for dy in (-1, 0, 1)
+    for dz in (-1, 0, 1)
+}
+
+
+def subquery_neighbor_atoms(
+    spec: DatasetSpec,
+    positions: np.ndarray,
+    primary_atom_id: int,
+    interp: InterpolationSpec,
+) -> list[int]:
+    """Neighbor atom ids a sub-query's stencils read beyond its primary.
+
+    Fast path of :func:`stencil_atoms` for the executor: every position
+    of a sub-query lies in one known primary atom, so only the per-axis
+    halo overshoot matters.  Returns packed atom ids (primary excluded),
+    typically empty — only positions within ``half_width - halo`` voxels
+    of an atom face expand.
+    """
+    pos = np.mod(np.asarray(positions, dtype=np.float64), spec.grid_side)
+    h = interp.half_width
+    if h <= spec.halo:
+        return []
+    side = spec.atom_side
+    local = np.floor(pos).astype(np.int64) % side
+    offset = (local + h > side - 1 + spec.halo).astype(np.int8)
+    offset -= local - h + 1 < -spec.halo
+    keys = (offset[:, 0] + 1) * 9 + (offset[:, 1] + 1) * 3 + (offset[:, 2] + 1)
+    keys = np.unique(keys[keys != 13])
+    if len(keys) == 0:
+        return []
+    deltas = {
+        combo for key in keys.tolist() for combo in _SUBCOMBO_TABLE[int(key)]
+    }
+    timestep = primary_atom_id // spec.atoms_per_timestep
+    primary_morton = primary_atom_id % spec.atoms_per_timestep
+    px, py, pz = morton_decode_scalar(primary_morton)
+    n_axis = spec.atoms_per_axis
+    arr = np.array(sorted(deltas), dtype=np.int64)
+    cx = (px + arr[:, 0]) % n_axis
+    cy = (py + arr[:, 1]) % n_axis
+    cz = (pz + arr[:, 2]) % n_axis
+    codes = morton_encode_unchecked(cx, cy, cz).astype(np.int64)
+    base = timestep * spec.atoms_per_timestep
+    return [base + int(c) for c in np.unique(codes)]

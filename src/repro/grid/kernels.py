@@ -1,0 +1,109 @@
+"""Lagrange interpolation kernels over the discretized velocity grid.
+
+The Turbulence database's core operation evaluates velocity (and
+related quantities) at arbitrary positions by Lagrange polynomial
+interpolation of order 4, 6 or 8 over the stored grid (paper §III-A;
+Li et al. 2008).  This module implements that computation for real: it
+discretizes the synthetic field onto the integer grid (the "stored
+data") and interpolates from those node values only — so examples and
+tests can validate the full query pipeline numerically, not just its
+cost model.
+
+The interpolant for a position with fractional offset ``f`` in each
+axis uses the ``order`` nodes ``floor(p) - order/2 + 1 ..
+floor(p) + order/2`` per axis and tensor-product Lagrange weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.field import SyntheticTurbulence
+
+__all__ = ["lagrange_weights", "interpolate_velocity", "interpolation_error"]
+
+
+def lagrange_weights(frac: np.ndarray, order: int) -> np.ndarray:
+    """Lagrange basis weights for fractional offsets.
+
+    Parameters
+    ----------
+    frac:
+        ``(N,)`` array of fractional positions in ``[0, 1)`` relative to
+        the base node.
+    order:
+        Even kernel order; the nodes sit at integer offsets
+        ``-order/2 + 1 .. order/2`` from the base node.
+
+    Returns
+    -------
+    ``(N, order)`` weights summing to 1 along axis 1.
+    """
+    if order < 2 or order % 2:
+        raise ValueError("order must be an even integer >= 2")
+    frac = np.asarray(frac, dtype=np.float64)
+    h = order // 2
+    nodes = np.arange(-h + 1, h + 1, dtype=np.float64)  # (order,)
+    x = frac[:, None]  # position relative to base node
+    weights = np.ones((len(frac), order))
+    for j in range(order):
+        for k in range(order):
+            if k == j:
+                continue
+            weights[:, j] *= (x[:, 0] - nodes[k]) / (nodes[j] - nodes[k])
+    return weights
+
+
+def interpolate_velocity(
+    field: SyntheticTurbulence,
+    positions: np.ndarray,
+    t: float,
+    order: int = 8,
+) -> np.ndarray:
+    """Interpolate velocity at arbitrary positions from grid-node values.
+
+    Mirrors the database evaluation path: velocities are *only* sampled
+    at integer grid nodes (what the atoms store), then combined with
+    tensor-product Lagrange weights.  Periodic in the field's box.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[1] != 3:
+        raise ValueError("positions must have shape (N, 3)")
+    n = len(pos)
+    h = order // 2
+    base = np.floor(pos).astype(np.int64)
+    frac = pos - base
+    # Per-axis weights: (N, order) each.
+    wx = lagrange_weights(frac[:, 0], order)
+    wy = lagrange_weights(frac[:, 1], order)
+    wz = lagrange_weights(frac[:, 2], order)
+    offsets = np.arange(-h + 1, h + 1, dtype=np.int64)  # (order,)
+
+    # Build all stencil nodes: (N, order^3, 3), sample the stored grid,
+    # and contract with the weight tensor product.
+    ox, oy, oz = np.meshgrid(offsets, offsets, offsets, indexing="ij")
+    stencil = np.stack([ox.ravel(), oy.ravel(), oz.ravel()], axis=1)  # (order^3, 3)
+    nodes = (base[:, None, :] + stencil[None, :, :]).astype(np.float64)
+    nodes = np.mod(nodes, field.box_size)
+    values = field.velocity(nodes.reshape(-1, 3), t).reshape(n, len(stencil), 3)
+
+    w = (
+        wx[:, :, None, None] * wy[:, None, :, None] * wz[:, None, None, :]
+    ).reshape(n, -1)  # (N, order^3)
+    return np.einsum("ns,nsc->nc", w, values)
+
+
+def interpolation_error(
+    field: SyntheticTurbulence,
+    positions: np.ndarray,
+    t: float,
+    order: int,
+) -> float:
+    """RMS error of grid interpolation against the analytic field,
+    normalized by the field's RMS speed (used to verify that higher
+    kernel orders converge)."""
+    approx = interpolate_velocity(field, positions, t, order)
+    exact = field.velocity(positions, t)
+    err = np.sqrt(np.mean(np.sum((approx - exact) ** 2, axis=1)))
+    scale = np.sqrt(np.mean(np.sum(exact**2, axis=1)))
+    return float(err / scale) if scale > 0 else float(err)

@@ -1,0 +1,29 @@
+"""Morton (Z-order) spatial indexing substrate.
+
+The Turbulence cluster linearizes its atom grid along a Morton
+space-filling curve and indexes it with a hierarchy of power-of-two
+cubes (paper §III-A).  This subpackage provides the vectorized codec and
+the hierarchical index used by the storage and scheduling layers.
+"""
+
+from repro.morton.bigmin import bigmin, in_box, zrange_scan
+from repro.morton.codec import (
+    MAX_COORD_BITS,
+    morton_decode,
+    morton_decode_scalar,
+    morton_encode,
+    morton_encode_scalar,
+)
+from repro.morton.index import MortonIndex
+
+__all__ = [
+    "MAX_COORD_BITS",
+    "morton_encode",
+    "morton_decode",
+    "morton_encode_scalar",
+    "morton_decode_scalar",
+    "MortonIndex",
+    "bigmin",
+    "in_box",
+    "zrange_scan",
+]

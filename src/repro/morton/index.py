@@ -1,0 +1,200 @@
+"""Hierarchical Morton index over a cubic atom grid.
+
+The paper (§III-A) describes a hierarchical spatial index that logically
+partitions space into cubes of side :math:`2^k` for ``k = 0..log(n)``.
+Because a Morton curve visits each such cube as one contiguous code
+range, every octree cube maps to a half-open interval of Morton codes —
+which is what makes range and containment queries efficient with
+respect to I/O.
+
+:class:`MortonIndex` exposes:
+
+* coordinate <-> code mapping for an ``n x n x n`` atom grid,
+* octree-cube code ranges (``cube_range``),
+* axis-aligned box queries decomposed into maximal octree cubes
+  (``box_to_ranges``) or enumerated directly (``box_codes``),
+* face-neighbor lookup used by interpolation stencils.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.morton.codec import morton_decode, morton_encode
+
+__all__ = ["MortonIndex"]
+
+
+@dataclass(frozen=True)
+class MortonIndex:
+    """Morton index for a cubic grid of ``side`` atoms per axis.
+
+    Parameters
+    ----------
+    side:
+        Number of atoms along each axis.  Must be a power of two (the
+        Turbulence cluster uses 16 = 1024/64 atoms per axis).
+    """
+
+    side: int
+
+    def __post_init__(self) -> None:
+        if self.side < 1 or (self.side & (self.side - 1)) != 0:
+            raise ValueError(f"side must be a positive power of two, got {self.side}")
+
+    @property
+    def levels(self) -> int:
+        """Number of octree levels (``log2(side)``)."""
+        return int(self.side).bit_length() - 1
+
+    @property
+    def n_atoms(self) -> int:
+        """Total number of atoms in the grid (``side**3``)."""
+        return self.side**3
+
+    # ------------------------------------------------------------------
+    # Coordinate <-> code
+    # ------------------------------------------------------------------
+    def encode(self, x, y, z) -> np.ndarray:
+        """Morton codes for atom coordinates; validates grid bounds."""
+        x = np.asarray(x)
+        y = np.asarray(y)
+        z = np.asarray(z)
+        for axis in (x, y, z):
+            if np.any(axis < 0) or np.any(axis >= self.side):
+                raise ValueError("atom coordinate out of grid bounds")
+        return morton_encode(x, y, z)
+
+    def decode(self, codes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Atom coordinates for Morton codes; validates code bounds."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        if np.any(codes >= self.n_atoms):
+            raise ValueError("Morton code out of grid bounds")
+        return morton_decode(codes)
+
+    # ------------------------------------------------------------------
+    # Octree cubes
+    # ------------------------------------------------------------------
+    def cube_range(self, x: int, y: int, z: int, level: int) -> tuple[int, int]:
+        """Half-open Morton code range of the level-``level`` octree cube
+        whose minimum corner is ``(x, y, z)``.
+
+        ``level`` is the cube's side exponent: a cube of side ``2**level``
+        atoms.  The corner must be aligned to the cube side.
+        """
+        size = 1 << level
+        if size > self.side:
+            raise ValueError("cube larger than grid")
+        if (x % size, y % size, z % size) != (0, 0, 0):
+            raise ValueError("cube corner not aligned to cube side")
+        lo = int(self.encode(np.array([x]), np.array([y]), np.array([z]))[0])
+        return lo, lo + size**3
+
+    def box_to_ranges(self, lo: tuple[int, int, int], hi: tuple[int, int, int]) -> list[tuple[int, int]]:
+        """Decompose an axis-aligned atom box into maximal octree cubes.
+
+        Parameters
+        ----------
+        lo, hi:
+            Inclusive minimum and maximum atom coordinates of the box.
+
+        Returns
+        -------
+        list of (start, stop)
+            Sorted, disjoint, coalesced half-open Morton code ranges that
+            exactly cover the box.  Scanning these ranges in order visits
+            the box's atoms in Morton (disk) order.
+        """
+        for a, b in zip(lo, hi):
+            if a < 0 or b >= self.side or a > b:
+                raise ValueError(f"invalid box bounds: {lo}..{hi}")
+
+        ranges: list[tuple[int, int]] = []
+
+        def recurse(cx: int, cy: int, cz: int, level: int) -> None:
+            size = 1 << level
+            # Cube fully outside the box?
+            if (
+                cx + size <= lo[0]
+                or cx > hi[0]
+                or cy + size <= lo[1]
+                or cy > hi[1]
+                or cz + size <= lo[2]
+                or cz > hi[2]
+            ):
+                return
+            # Cube fully inside the box -> emit its whole Morton range.
+            if (
+                cx >= lo[0]
+                and cx + size - 1 <= hi[0]
+                and cy >= lo[1]
+                and cy + size - 1 <= hi[1]
+                and cz >= lo[2]
+                and cz + size - 1 <= hi[2]
+            ):
+                ranges.append(self.cube_range(cx, cy, cz, level))
+                return
+            half = size // 2
+            for dz in (0, half):
+                for dy in (0, half):
+                    for dx in (0, half):
+                        recurse(cx + dx, cy + dy, cz + dz, level - 1)
+
+        recurse(0, 0, 0, self.levels)
+        ranges.sort()
+        # Coalesce adjacent ranges (octree decomposition can emit touching
+        # sibling cubes).
+        merged: list[tuple[int, int]] = []
+        for start, stop in ranges:
+            if merged and merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], stop)
+            else:
+                merged.append((start, stop))
+        return [(int(a), int(b)) for a, b in merged]
+
+    def box_codes(self, lo: tuple[int, int, int], hi: tuple[int, int, int]) -> np.ndarray:
+        """All Morton codes inside an inclusive atom box, in Morton order."""
+        parts = [np.arange(a, b, dtype=np.uint64) for a, b in self.box_to_ranges(lo, hi)]
+        if not parts:
+            return np.empty(0, dtype=np.uint64)
+        return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    # Neighbors
+    # ------------------------------------------------------------------
+    def neighbors(self, code: int, radius: int = 1, periodic: bool = True) -> np.ndarray:
+        """Morton codes of the cube of atoms within ``radius`` of ``code``.
+
+        Interpolation kernels near an atom boundary read adjacent atoms
+        (paper §III-A: atoms carry 4 voxels of replication precisely to
+        reduce such reads; §V: batching k nearby atoms exploits the
+        stencil overlap).  ``periodic`` wraps at the grid boundary, which
+        matches the periodic DNS domain.
+
+        The returned array excludes ``code`` itself and is sorted.
+        """
+        x, y, z = self.decode(np.array([code], dtype=np.uint64))
+        offsets = np.arange(-radius, radius + 1)
+        dx, dy, dz = np.meshgrid(offsets, offsets, offsets, indexing="ij")
+        nx = int(x[0]) + dx.ravel()
+        ny = int(y[0]) + dy.ravel()
+        nz = int(z[0]) + dz.ravel()
+        if periodic:
+            nx %= self.side
+            ny %= self.side
+            nz %= self.side
+        else:
+            keep = (
+                (nx >= 0)
+                & (nx < self.side)
+                & (ny >= 0)
+                & (ny < self.side)
+                & (nz >= 0)
+                & (nz < self.side)
+            )
+            nx, ny, nz = nx[keep], ny[keep], nz[keep]
+        codes = self.encode(nx, ny, nz)
+        codes = np.unique(codes)
+        return codes[codes != np.uint64(code)]

@@ -1,0 +1,15 @@
+"""Simulated storage substrate.
+
+Stands in for the paper's SQL Server 2005 + RAID-5 deployment: a
+clustered B+-tree access path keyed on ``(timestep, morton)``, a disk
+cost model charging :math:`T_b` per atom read (with optional sequential
+discount), and a fixed-capacity atom buffer cache with pluggable
+replacement policies managed externally to the database, exactly as the
+paper's evaluation does (§VI-B).
+"""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferCache
+from repro.storage.disk import DiskModel, DiskStats
+
+__all__ = ["BPlusTree", "BufferCache", "DiskModel", "DiskStats"]

@@ -1,0 +1,26 @@
+"""Workload substrate: queries, jobs, traces, and the synthetic
+generator calibrated to the paper's Turbulence workload
+characterization (§VI-A, Figs. 8–9)."""
+
+from repro.workload.generator import WorkloadParams, generate_trace
+from repro.workload.identification import JobIdentifier, identification_accuracy
+from repro.workload.job import Job, JobKind
+from repro.workload.query import Query, SubQuery, preprocess_query
+from repro.workload.stats import job_duration_histogram, queries_per_timestep, workload_summary
+from repro.workload.trace import Trace
+
+__all__ = [
+    "Query",
+    "SubQuery",
+    "preprocess_query",
+    "Job",
+    "JobKind",
+    "Trace",
+    "WorkloadParams",
+    "generate_trace",
+    "JobIdentifier",
+    "identification_accuracy",
+    "job_duration_histogram",
+    "queries_per_timestep",
+    "workload_summary",
+]

@@ -1,0 +1,35 @@
+"""Server-side job encapsulation (paper §VII, future work).
+
+Today's Turbulence users "write a series of loops that iterate through
+each time step", computing new positions client-side between queries —
+which is what creates the think-time gaps and hides a job's future
+queries from the scheduler.  The Discussion proposes encapsulating the
+iteration *inside* the database: the scheduler then has a-priori
+knowledge of the whole job and no client round-trips.
+
+In the simulator, gated JAWS already has trace-level knowledge of job
+query sequences (DESIGN.md), so the observable effect of encapsulation
+is the removal of the client round-trip: ordered jobs lose their think
+time (query ``i+1`` becomes schedulable the moment ``i`` completes).
+:func:`encapsulate_trace` applies exactly that transformation, and the
+encapsulation bench measures what the proposal would buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.workload.trace import Trace
+
+__all__ = ["encapsulate_trace"]
+
+
+def encapsulate_trace(trace: Trace) -> Trace:
+    """Return a copy of ``trace`` with ordered jobs' think times set to
+    zero (server-side iteration, no client round-trip).
+
+    Query contents and ordering constraints are unchanged — dependencies
+    still serialize each job's queries.
+    """
+    jobs = [replace(job, think_time=0.0) if job.is_ordered else job for job in trace.jobs]
+    return Trace(trace.spec, jobs)

@@ -1,0 +1,222 @@
+"""Job identification from a flat query log (paper §IV-A).
+
+The Turbulence front end receives bare queries; JAWS reconstructs job
+membership heuristically "using a combination of user IDs, spatial or
+temporal operation performed, time steps queried, and wall-clock time
+between consecutive queries" — heuristic but "highly accurate in
+practice".
+
+:class:`JobIdentifier` implements that heuristic over a stream of
+:class:`LogRecord`; :func:`identification_accuracy` scores a predicted
+grouping against ground truth with pairwise precision/recall/F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Optional
+
+from repro.workload.trace import Trace
+
+__all__ = [
+    "LogRecord",
+    "JobIdentifier",
+    "flatten_trace",
+    "identification_accuracy",
+]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One query submission as seen by the front end."""
+
+    query_id: int
+    user_id: int
+    op: str
+    timestep: int
+    arrival_time: float
+    n_positions: int
+    true_job_id: Optional[int] = None  # carried for accuracy scoring only
+
+
+@dataclass
+class _OpenJob:
+    predicted_id: int
+    user_id: int
+    op: str
+    last_timestep: int
+    last_arrival: float
+    step_delta: Optional[int] = None  # observed time-step stride
+    n_positions: int = 0
+
+
+class JobIdentifier:
+    """Stateful heuristic grouping of a time-ordered query log.
+
+    Users run several experiments concurrently, so the identifier keeps
+    *every* open job per (user, operation) and assigns each incoming
+    query to the best-matching one.  A job is a match when all of:
+
+    * same user and operation;
+    * the gap since the job's last query is below ``gap_threshold``
+      seconds (users in a workflow resubmit promptly);
+    * the time step continues the job's stride — equal to the last
+      time step, or advancing by the job's established per-query delta
+      (first observed delta fixes the stride, tolerance ±1);
+    * the position count is stable within ``size_tolerance`` (§IV-A:
+      "in a typical batched job, the number of queried positions
+      remains constant"; a tracking cloud likewise keeps its size).
+
+    Among matches the closest by (stride exactness, position-count
+    similarity, recency) wins; with no match a new job opens.  Jobs
+    silent for ``gap_threshold`` seconds are closed.
+    """
+
+    def __init__(
+        self,
+        gap_threshold: float = 120.0,
+        size_tolerance: float = 0.1,
+        max_step_delta: int = 2,
+    ) -> None:
+        if gap_threshold <= 0:
+            raise ValueError("gap_threshold must be positive")
+        self.gap_threshold = gap_threshold
+        self.size_tolerance = size_tolerance
+        self.max_step_delta = max_step_delta
+        self._open: dict[tuple[int, str], list[_OpenJob]] = {}
+        self._next_id = 0
+        self.assignments: dict[int, int] = {}  # query_id -> predicted job id
+
+    def _new_job(self, rec: LogRecord) -> _OpenJob:
+        job = _OpenJob(
+            predicted_id=self._next_id,
+            user_id=rec.user_id,
+            op=rec.op,
+            last_timestep=rec.timestep,
+            last_arrival=rec.arrival_time,
+            n_positions=rec.n_positions,
+        )
+        self._next_id += 1
+        return job
+
+    def _continues(self, job: _OpenJob, rec: LogRecord) -> bool:
+        if rec.arrival_time - job.last_arrival > self.gap_threshold:
+            return False
+        delta = rec.timestep - job.last_timestep
+        if job.step_delta is None:
+            if not (0 <= delta <= self.max_step_delta):
+                return False
+        else:
+            if abs(delta - job.step_delta) > 1:
+                return False
+        if job.n_positions > 0:
+            ratio = abs(rec.n_positions - job.n_positions) / job.n_positions
+            if ratio > self.size_tolerance:
+                return False
+        return True
+
+    def _match_quality(self, job: _OpenJob, rec: LogRecord) -> tuple:
+        delta = rec.timestep - job.last_timestep
+        stride_exact = job.step_delta is not None and delta == job.step_delta
+        size_err = (
+            abs(rec.n_positions - job.n_positions) / job.n_positions
+            if job.n_positions
+            else 0.0
+        )
+        # Higher tuple = better match.
+        return (stride_exact, -size_err, job.last_arrival)
+
+    def observe(self, rec: LogRecord) -> int:
+        """Assign one record to a (possibly new) predicted job id."""
+        key = (rec.user_id, rec.op)
+        jobs = self._open.setdefault(key, [])
+        # Expire silent jobs.
+        jobs[:] = [
+            j for j in jobs if rec.arrival_time - j.last_arrival <= self.gap_threshold
+        ]
+        candidates = [j for j in jobs if self._continues(j, rec)]
+        if candidates:
+            job = max(candidates, key=lambda j: self._match_quality(j, rec))
+            delta = rec.timestep - job.last_timestep
+            if job.step_delta is None and delta > 0:
+                job.step_delta = delta
+            job.last_timestep = rec.timestep
+            job.last_arrival = rec.arrival_time
+            job.n_positions = rec.n_positions
+        else:
+            job = self._new_job(rec)
+            jobs.append(job)
+        self.assignments[rec.query_id] = job.predicted_id
+        return job.predicted_id
+
+    def run(self, records: Iterable[LogRecord]) -> dict[int, int]:
+        """Process a full log in arrival order; returns the assignment map."""
+        for rec in sorted(records, key=lambda r: r.arrival_time):
+            self.observe(rec)
+        return dict(self.assignments)
+
+
+def flatten_trace(trace: Trace, exec_time_estimate: float = 1.5) -> list[LogRecord]:
+    """Turn a trace into the flat log the front end would observe.
+
+    An ordered job's query ``i+1`` arrives after query ``i`` completes
+    plus think time; ``exec_time_estimate`` approximates per-query
+    service time so arrival gaps look like the production log's.
+    Ground-truth job ids are carried through for scoring.
+    """
+    records: list[LogRecord] = []
+    for job in trace.jobs:
+        t = job.submit_time
+        for q in job.queries:
+            if job.is_ordered and q.seq > 0:
+                t += exec_time_estimate + job.think_time
+            records.append(
+                LogRecord(
+                    query_id=q.query_id,
+                    user_id=q.user_id,
+                    op=q.op,
+                    timestep=q.timestep,
+                    arrival_time=t,
+                    n_positions=q.n_positions,
+                    true_job_id=job.job_id,
+                )
+            )
+    records.sort(key=lambda r: r.arrival_time)
+    return records
+
+
+def identification_accuracy(
+    records: list[LogRecord], assignments: dict[int, int]
+) -> dict[str, float]:
+    """Pairwise precision/recall/F1 of a predicted grouping.
+
+    A *pair* is two queries placed in the same group.  Precision counts
+    predicted pairs that are truly co-job; recall counts true co-job
+    pairs recovered.  Both computed over within-group pairs only, so
+    the cost is quadratic in group sizes, not the log size.
+    """
+    pred_groups: dict[int, list[int]] = {}
+    for qid, pid in assignments.items():
+        pred_groups.setdefault(pid, []).append(qid)
+    true_groups: dict[int, list[int]] = {}
+    for r in records:
+        true_groups.setdefault(r.true_job_id, []).append(r.query_id)
+
+    pred_pairs = {
+        frozenset(p)
+        for members in pred_groups.values()
+        for p in combinations(sorted(members), 2)
+    }
+    true_pairs = {
+        frozenset(p)
+        for members in true_groups.values()
+        for p in combinations(sorted(members), 2)
+    }
+    tp = len(pred_pairs & true_pairs)
+    precision = tp / len(pred_pairs) if pred_pairs else 1.0
+    recall = tp / len(true_pairs) if true_pairs else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall) if precision + recall > 0 else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,133 @@
+"""Queries, sub-queries, and the query pre-processor.
+
+A Turbulence query is "a list of positions on which to perform
+computation" at one time step (paper §III-B).  The pre-processor
+identifies the atom containing each position and emits one *sub-query*
+per touched atom; sub-queries can execute in any order and the query's
+result is the combination of its sub-queries' results.  Sub-queries are
+emitted in Morton order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.grid.atoms import AtomMapper
+from repro.grid.dataset import DatasetSpec
+from repro.grid.interpolation import InterpolationSpec, stencil_atoms, subquery_neighbor_atoms
+
+__all__ = ["Query", "SubQuery", "preprocess_query"]
+
+#: Operations a query can perform, mirroring the paper's workload
+#: classes: velocity/pressure lookup, Lagrangian interpolation (particle
+#: tracking), and statistics over a region.
+OPERATIONS = ("velocity", "interp", "stats")
+
+
+@dataclass
+class Query:
+    """One query: a set of positions evaluated at one time step.
+
+    Attributes
+    ----------
+    query_id:
+        Globally unique id.
+    job_id:
+        Owning job (every query belongs to a job; one-off queries are
+        single-query jobs).
+    seq:
+        0-based index within the job's query sequence.
+    user_id:
+        Submitting user (input to job identification).
+    op:
+        One of :data:`OPERATIONS`.
+    timestep:
+        Stored time step the positions are evaluated against.
+    positions:
+        ``(N, 3)`` float array in voxel units.
+    atom_set:
+        Packed primary-atom ids touched by the positions; filled by
+        :func:`preprocess_query` and used by job alignment
+        (``A(q)`` in §IV-B).
+    """
+
+    query_id: int
+    job_id: int
+    seq: int
+    user_id: int
+    op: str
+    timestep: int
+    positions: np.ndarray
+    atom_set: Optional[frozenset[int]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATIONS:
+            raise ValueError(f"unknown operation {self.op!r}")
+        self.positions = np.asarray(self.positions, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("positions must have shape (N, 3)")
+        if len(self.positions) == 0:
+            raise ValueError("query must contain at least one position")
+
+    @property
+    def n_positions(self) -> int:
+        return len(self.positions)
+
+    def atoms(self, spec: DatasetSpec) -> frozenset[int]:
+        """Primary atom set ``A(q)``, computing and caching on demand."""
+        if self.atom_set is None:
+            mapper = AtomMapper(spec)
+            ids = mapper.atom_ids(self.positions, self.timestep)
+            self.atom_set = frozenset(int(a) for a in np.unique(ids))
+        return self.atom_set
+
+
+@dataclass
+class SubQuery:
+    """The positions of one query falling within one atom.
+
+    ``position_indices`` index into the owning query's ``positions``
+    array; the engine uses them to evaluate the interpolation stencil
+    and count neighbor-atom reads.
+    """
+
+    query: Query
+    atom_id: int
+    position_indices: np.ndarray
+
+    @property
+    def n_positions(self) -> int:
+        return len(self.position_indices)
+
+    def positions(self) -> np.ndarray:
+        """The sub-query's positions, ``(n, 3)``."""
+        return self.query.positions[self.position_indices]
+
+    def required_atoms(self, spec: DatasetSpec, interp: InterpolationSpec) -> np.ndarray:
+        """All atom ids (primary + stencil neighbors) this sub-query reads."""
+        if self.query.op == "interp":
+            return stencil_atoms(spec, self.positions(), self.query.timestep, interp)
+        return np.array([self.atom_id], dtype=np.int64)
+
+    def neighbor_atoms(self, spec: DatasetSpec, interp: InterpolationSpec) -> list[int]:
+        """Stencil-neighbor atom ids only (primary excluded, hot path)."""
+        if self.query.op != "interp":
+            return []
+        return subquery_neighbor_atoms(spec, self.positions(), self.atom_id, interp)
+
+
+def preprocess_query(query: Query, mapper: AtomMapper) -> list[SubQuery]:
+    """Split a query into per-atom sub-queries in Morton order.
+
+    Implements the pre-processing stage of Figure 1: each sub-query is
+    the set of the query's positions that fall within one atom;
+    sub-queries are independent; their union reconstructs the query.
+    Also fills the query's cached ``atom_set``.
+    """
+    groups = mapper.group_by_atom(query.positions, query.timestep)
+    subqueries = [SubQuery(query, atom_id, idx) for atom_id, idx in groups]
+    query.atom_set = frozenset(sq.atom_id for sq in subqueries)
+    return subqueries

@@ -1,0 +1,89 @@
+"""Workload characterization (paper §VI-A, Figs. 8–9)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.workload.trace import Trace
+
+__all__ = [
+    "DURATION_BUCKETS",
+    "job_duration_histogram",
+    "estimate_job_durations",
+    "queries_per_timestep",
+    "workload_summary",
+]
+
+#: Fig. 8's execution-time buckets, in seconds: under a minute,
+#: 1–30 minutes, 30 minutes–2 hours, over 2 hours.
+DURATION_BUCKETS: tuple[tuple[str, float, float], ...] = (
+    ("<1min", 0.0, 60.0),
+    ("1-30min", 60.0, 1800.0),
+    ("30min-2h", 1800.0, 7200.0),
+    (">2h", 7200.0, float("inf")),
+)
+
+
+def job_duration_histogram(durations: Mapping[int, float]) -> dict[str, float]:
+    """Fraction of jobs per Fig. 8 bucket, from measured durations.
+
+    ``durations`` maps job id to wall-clock execution time in engine
+    seconds (first arrival to last completion).
+    """
+    values = np.asarray(list(durations.values()), dtype=np.float64)
+    if len(values) == 0:
+        return {label: 0.0 for label, _, _ in DURATION_BUCKETS}
+    return {
+        label: float(np.mean((values >= lo) & (values < hi)))
+        for label, lo, hi in DURATION_BUCKETS
+    }
+
+
+def estimate_job_durations(trace: Trace, exec_time_estimate: float = 1.5) -> dict[int, float]:
+    """Pre-run duration estimate: queries × (service + think time).
+
+    Used for trace characterization before any scheduler runs; the
+    Fig. 8 bench reports both this estimate and measured durations.
+    """
+    out: dict[int, float] = {}
+    for job in trace.jobs:
+        per_query = exec_time_estimate + (job.think_time if job.is_ordered else 0.0)
+        out[job.job_id] = job.n_queries * per_query
+    return out
+
+
+def queries_per_timestep(trace: Trace) -> np.ndarray:
+    """Query count per stored time step (the Fig. 9 series)."""
+    counts = np.zeros(trace.spec.n_timesteps, dtype=np.int64)
+    for job in trace.jobs:
+        for q in job.queries:
+            counts[q.timestep] += 1
+    return counts
+
+
+def _top_share(counts: np.ndarray, top_n: int) -> float:
+    """Fraction of queries hitting the ``top_n`` most popular steps."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    return float(np.sort(counts)[::-1][:top_n].sum() / total)
+
+
+def workload_summary(trace: Trace) -> dict[str, float]:
+    """Headline characterization numbers the paper reports in §VI-A."""
+    n_queries = trace.n_queries
+    in_jobs = sum(j.n_queries for j in trace.jobs if j.n_queries > 1)
+    single_ts = sum(1 for j in trace.jobs if len(j.timesteps) == 1)
+    counts = queries_per_timestep(trace)
+    top12 = min(12, trace.spec.n_timesteps)
+    return {
+        "n_jobs": float(trace.n_jobs),
+        "n_queries": float(n_queries),
+        "n_positions": float(trace.n_positions),
+        "frac_queries_in_jobs": in_jobs / n_queries if n_queries else 0.0,
+        "frac_jobs_single_timestep": single_ts / trace.n_jobs if trace.n_jobs else 0.0,
+        "top12_timestep_query_share": _top_share(counts, top12),
+        "mean_queries_per_job": n_queries / trace.n_jobs if trace.n_jobs else 0.0,
+    }

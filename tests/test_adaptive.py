@@ -1,0 +1,91 @@
+"""Tests for the adaptive age-bias controller (§V-A)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveAlphaController
+
+
+class TestRules:
+    def test_first_run_seeds_series(self):
+        c = AdaptiveAlphaController(alpha=0.5)
+        assert c.update(rt=10.0, tp=1.0) == 0.5
+
+    def test_rising_saturation_biases_toward_contention(self):
+        """Rule 1: response time climbing with flat throughput -> α down."""
+        c = AdaptiveAlphaController(alpha=0.5, ewma_weight=0.5)
+        c.update(rt=10.0, tp=1.0)
+        for step in range(1, 6):
+            c.update(rt=10.0 * (1.5**step), tp=1.0)
+        assert c.alpha < 0.5
+
+    def test_falling_saturation_biases_toward_age(self):
+        """Rule 2: response time falling but throughput falling faster
+        -> α up (spend spare capacity on latency)."""
+        c = AdaptiveAlphaController(alpha=0.5, ewma_weight=0.5)
+        c.update(rt=100.0, tp=10.0)
+        rt, tp = 100.0, 10.0
+        for _ in range(6):
+            rt *= 0.95
+            tp *= 0.5
+            c.update(rt=rt, tp=tp)
+        assert c.alpha > 0.5
+
+    def test_commensurate_growth_leaves_alpha(self):
+        """rt and tp ratios equal: neither rule fires."""
+        c = AdaptiveAlphaController(alpha=0.4, ewma_weight=1.0, stasis_epsilon=0.0)
+        c.update(rt=10.0, tp=1.0)
+        c.update(rt=20.0, tp=2.0)
+        assert c.alpha == pytest.approx(0.4)
+
+    def test_alpha_clamped_to_unit_interval(self):
+        c = AdaptiveAlphaController(alpha=0.05, ewma_weight=1.0)
+        c.update(rt=1.0, tp=1.0)
+        for _ in range(10):
+            c.update(rt=100.0, tp=1.0)  # huge rule-1 pressure
+            c.update(rt=1.0, tp=1.0)
+        assert 0.0 <= c.alpha <= 1.0
+
+
+class TestSmoothing:
+    def test_ewma_damps_single_spike(self):
+        """One noisy run moves α much less under smoothing than raw."""
+        smoothed = AdaptiveAlphaController(alpha=0.5, ewma_weight=0.2)
+        raw = AdaptiveAlphaController(alpha=0.5, ewma_weight=1.0)
+        for c in (smoothed, raw):
+            c.update(rt=10.0, tp=1.0)
+            c.update(rt=12.0, tp=1.0)  # 20% rt spike, flat throughput
+        assert smoothed.alpha > raw.alpha
+        assert smoothed.alpha == pytest.approx(0.5 - 0.04, abs=1e-9)
+
+    def test_history_recorded(self):
+        c = AdaptiveAlphaController(alpha=0.5)
+        for i in range(4):
+            c.update(rt=10.0 + i, tp=1.0)
+        assert len(c.history) == 4
+
+
+class TestExploration:
+    def test_stasis_triggers_perturbation(self):
+        c = AdaptiveAlphaController(alpha=0.5, stasis_epsilon=0.05, explore_step=0.1)
+        for _ in range(4):
+            c.update(rt=10.0, tp=1.0)
+        assert c.alpha != 0.5  # explored off the initial value
+
+    def test_exploration_alternates_direction(self):
+        c = AdaptiveAlphaController(alpha=0.5, stasis_epsilon=0.05, explore_step=0.1)
+        seen = set()
+        for _ in range(12):
+            c.update(rt=10.0, tp=1.0)
+            seen.add(round(c.alpha, 3))
+        assert len(seen) >= 2  # wanders both ways, not stuck
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveAlphaController(alpha=1.5)
+
+    def test_negative_inputs_rejected(self):
+        c = AdaptiveAlphaController()
+        with pytest.raises(ValueError):
+            c.update(rt=-1.0, tp=1.0)

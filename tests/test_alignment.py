@@ -1,0 +1,122 @@
+"""Tests for Needleman–Wunsch job alignment."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alignment import align_jobs, alignment_score, overlap_matrix
+
+
+def fs(*atoms):
+    return frozenset(atoms)
+
+
+class TestOverlapMatrix:
+    def test_basic(self):
+        s = overlap_matrix([fs(1, 2), fs(3)], [fs(2), fs(4)])
+        assert s.tolist() == [[True, False], [False, False]]
+
+    def test_empty_sets_never_share(self):
+        s = overlap_matrix([fs()], [fs()])
+        assert not s.any()
+
+
+class TestAlignJobs:
+    def test_identical_jobs_fully_aligned(self):
+        a = [fs(1), fs(2), fs(3)]
+        assert align_jobs(a, a) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_paper_figure3_style(self):
+        """Two jobs sharing a sparse subsequence align monotonically."""
+        a = [fs(1), fs(2), fs(3), fs(4)]
+        b = [fs(1), fs(9), fs(3), fs(8), fs(4)]
+        pairs = align_jobs(a, b)
+        assert (0, 0) in pairs and (2, 2) in pairs and (3, 4) in pairs
+
+    def test_offset_alignment_uses_gaps(self):
+        a = [fs(10), fs(1), fs(2)]
+        b = [fs(1), fs(2)]
+        assert align_jobs(a, b) == [(1, 0), (2, 1)]
+
+    def test_no_sharing(self):
+        assert align_jobs([fs(1)], [fs(2)]) == []
+
+    def test_empty_jobs(self):
+        assert align_jobs([], [fs(1)]) == []
+        assert align_jobs([fs(1)], []) == []
+
+    def test_monotone_and_unique(self):
+        a = [fs(i) for i in (1, 2, 1, 2, 1)]
+        b = [fs(1), fs(2)]
+        pairs = align_jobs(a, b)
+        # strictly increasing in both coordinates, <= 1 edge per query
+        assert all(p1[0] < p2[0] and p1[1] < p2[1] for p1, p2 in zip(pairs, pairs[1:]))
+        assert len({i for i, _ in pairs}) == len(pairs)
+        assert len({j for _, j in pairs}) == len(pairs)
+
+    def test_crossing_resolved_to_best(self):
+        # a = [X, Y], b = [Y, X]: only one edge can survive.
+        a = [fs(1), fs(2)]
+        b = [fs(2), fs(1)]
+        assert len(align_jobs(a, b)) == 1
+
+
+def brute_force_best(a, b):
+    """Max monotone matching by exhaustive search (tiny inputs)."""
+    n, m = len(a), len(b)
+    best = 0
+    idx_pairs = [
+        (i, j) for i in range(n) for j in range(m) if a[i] and not a[i].isdisjoint(b[j])
+    ]
+    for size in range(len(idx_pairs), 0, -1):
+        for combo in combinations(idx_pairs, size):
+            is_ = [c[0] for c in combo]
+            js_ = [c[1] for c in combo]
+            if sorted(is_) == is_ and sorted(js_) == js_:
+                if len(set(is_)) == size and len(set(js_)) == size:
+                    if all(
+                        combo[x][0] < combo[x + 1][0] and combo[x][1] < combo[x + 1][1]
+                        for x in range(size - 1)
+                    ):
+                        return size
+        if best:
+            break
+    return 0
+
+
+ATOM_SET = st.frozensets(st.integers(0, 5), max_size=3)
+
+
+class TestOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(ATOM_SET, min_size=1, max_size=5),
+        st.lists(ATOM_SET, min_size=1, max_size=5),
+    )
+    def test_matches_brute_force(self, a, b):
+        assert alignment_score(a, b) == brute_force_best(a, b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(ATOM_SET, min_size=1, max_size=6),
+        st.lists(ATOM_SET, min_size=1, max_size=6),
+    )
+    def test_symmetry(self, a, b):
+        assert alignment_score(a, b) == alignment_score(b, a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(ATOM_SET, min_size=1, max_size=6))
+    def test_self_alignment_counts_nonempty(self, a):
+        expected = sum(1 for s in a if s)
+        assert alignment_score(a, a) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(ATOM_SET, min_size=1, max_size=6),
+        st.lists(ATOM_SET, min_size=1, max_size=6),
+    )
+    def test_every_pair_shares_data(self, a, b):
+        for i, j in align_jobs(a, b):
+            assert not a[i].isdisjoint(b[j])

@@ -1,0 +1,105 @@
+"""Property tests for BIGMIN Z-order skip-scanning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.morton.bigmin import bigmin, in_box, zrange_scan
+from repro.morton.codec import morton_encode_scalar
+from repro.morton.index import MortonIndex
+
+SIDE = 8  # 6-bit boxes keep brute force cheap
+IDX = MortonIndex(SIDE)
+
+COORD = st.integers(0, SIDE - 1)
+
+
+def box_codes_brute(lo, hi):
+    out = []
+    for x in range(lo[0], hi[0] + 1):
+        for y in range(lo[1], hi[1] + 1):
+            for z in range(lo[2], hi[2] + 1):
+                out.append(morton_encode_scalar(x, y, z))
+    return sorted(out)
+
+
+@st.composite
+def boxes(draw):
+    lo = [draw(COORD) for _ in range(3)]
+    hi = [draw(st.integers(lo[a], SIDE - 1)) for a in range(3)]
+    return tuple(lo), tuple(hi)
+
+
+class TestInBox:
+    def test_corners(self):
+        zmin = morton_encode_scalar(1, 2, 3)
+        zmax = morton_encode_scalar(4, 5, 6)
+        assert in_box(zmin, zmin, zmax)
+        assert in_box(zmax, zmin, zmax)
+        assert not in_box(morton_encode_scalar(0, 2, 3), zmin, zmax)
+
+
+class TestBigmin:
+    def test_known_gap(self):
+        # Box x,y in [1,2] (2-D classic example lifted to 3-D, z fixed 0..0).
+        zmin = morton_encode_scalar(1, 1, 0)
+        zmax = morton_encode_scalar(2, 2, 0)
+        codes = box_codes_brute((1, 1, 0), (2, 2, 0))
+        # Pick a z between two in-box codes with a gap.
+        z = codes[1]
+        expected = codes[2]
+        assert bigmin(z, zmin, zmax) == expected
+
+    def test_no_successor(self):
+        zmin = morton_encode_scalar(0, 0, 0)
+        zmax = morton_encode_scalar(1, 1, 1)
+        assert bigmin(zmax, zmin, zmax) is None
+        assert bigmin(zmax + 5, zmin, zmax) is None
+
+    @settings(max_examples=150, deadline=None)
+    @given(boxes(), st.integers(0, SIDE**3))
+    def test_matches_brute_force(self, box, z):
+        lo, hi = box
+        zmin = morton_encode_scalar(*lo)
+        zmax = morton_encode_scalar(*hi)
+        codes = box_codes_brute(lo, hi)
+        expected = next((c for c in codes if c > z), None)
+        assert bigmin(z, zmin, zmax) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(boxes())
+    def test_result_always_in_box_and_greater(self, box):
+        lo, hi = box
+        zmin = morton_encode_scalar(*lo)
+        zmax = morton_encode_scalar(*hi)
+        for z in range(zmin, min(zmax, zmin + 50)):
+            out = bigmin(z, zmin, zmax)
+            if out is not None:
+                assert out > z
+                assert in_box(out, zmin, zmax)
+
+
+class TestZRangeScan:
+    @settings(max_examples=60, deadline=None)
+    @given(boxes())
+    def test_enumerates_exactly_the_box(self, box):
+        lo, hi = box
+        zmin = morton_encode_scalar(*lo)
+        zmax = morton_encode_scalar(*hi)
+        assert list(zrange_scan(zmin, zmax)) == box_codes_brute(lo, hi)
+
+    @settings(max_examples=40, deadline=None)
+    @given(boxes())
+    def test_agrees_with_octree_decomposition(self, box):
+        """The two access-path strategies (BIGMIN skip-scan vs octree
+        range decomposition) must enumerate identical code sets."""
+        lo, hi = box
+        zmin = morton_encode_scalar(*lo)
+        zmax = morton_encode_scalar(*hi)
+        via_octree = [int(c) for c in IDX.box_codes(lo, hi)]
+        assert list(zrange_scan(zmin, zmax)) == via_octree
+
+    def test_full_grid_is_contiguous(self):
+        zmax = SIDE**3 - 1
+        assert list(zrange_scan(0, zmax)) == list(range(SIDE**3))

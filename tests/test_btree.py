@@ -1,0 +1,122 @@
+"""Tests for the clustered B+-tree access path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(5) is None
+        assert 5 not in tree
+
+    def test_order_validated(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=3)
+
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        for k in [5, 1, 9, 3, 7]:
+            tree.insert(k, k * 10)
+        assert len(tree) == 5
+        for k in [5, 1, 9, 3, 7]:
+            assert tree.get(k) == k * 10
+
+    def test_duplicate_insert_replaces(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, 10)
+        tree.insert(1, 20)
+        assert len(tree) == 1
+        assert tree.get(1) == 20
+
+    def test_many_keys_force_splits(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(500))
+        rng = np.random.default_rng(0)
+        rng.shuffle(keys)
+        for k in keys:
+            tree.insert(k, -k)
+        assert len(tree) == 500
+        assert tree.depth() > 2
+        assert all(tree.get(k) == -k for k in range(500))
+
+
+class TestRangeScan:
+    def make(self, n=300, order=8):
+        tree = BPlusTree(order=order)
+        for k in range(0, 2 * n, 2):  # even keys only
+            tree.insert(k, k)
+        return tree
+
+    def test_full_scan_ordered(self):
+        tree = self.make()
+        keys = [k for k, _ in tree.range(-1, 10**9)]
+        assert keys == sorted(keys)
+        assert len(keys) == 300
+
+    def test_subrange(self):
+        tree = self.make()
+        got = [k for k, _ in tree.range(10, 21)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_range_missing_endpoints(self):
+        tree = self.make()
+        got = [k for k, _ in tree.range(11, 15)]
+        assert got == [12, 14]
+
+    def test_empty_range(self):
+        tree = self.make()
+        assert list(tree.range(7, 7)) == []
+        assert list(tree.range(10, 5)) == []
+
+    def test_keys_iterator(self):
+        tree = self.make(n=50)
+        assert list(tree.keys()) == list(range(0, 100, 2))
+
+
+class TestClusteredBuild:
+    def test_identity_layout(self):
+        tree = BPlusTree.build_clustered(1000, order=16)
+        assert len(tree) == 1000
+        # Clustered: key i lives at physical block i.
+        assert all(tree.get(i) == i for i in range(0, 1000, 37))
+
+    def test_leaf_chain_is_physically_sequential(self):
+        tree = BPlusTree.build_clustered(512, order=8)
+        blocks = [v for _, v in tree.range(0, 512)]
+        assert blocks == list(range(512))
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(-(10**6), 10**6), min_size=1, max_size=200, unique=True))
+    def test_matches_dict_semantics(self, keys):
+        tree = BPlusTree(order=6)
+        model = {}
+        for k in keys:
+            tree.insert(k, k ^ 42)
+            model[k] = k ^ 42
+        assert len(tree) == len(model)
+        for k in keys:
+            assert tree.get(k) == model[k]
+        lo, hi = min(keys) - 1, max(keys) + 1
+        assert [k for k, _ in tree.range(lo, hi)] == sorted(model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 10**4), min_size=5, max_size=100, unique=True),
+        st.integers(0, 10**4),
+        st.integers(0, 10**4),
+    )
+    def test_arbitrary_range_queries(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = BPlusTree(order=5)
+        for k in keys:
+            tree.insert(k, k)
+        expected = sorted(k for k in keys if lo <= k < hi)
+        assert [k for k, _ in tree.range(lo, hi)] == expected

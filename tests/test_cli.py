@@ -1,0 +1,120 @@
+"""Tests for the command-line interface (in-process, no subprocess)."""
+
+import pytest
+
+from repro.cli import main
+from repro.workload.trace import Trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "t.npz"
+    rc = main(
+        [
+            "trace",
+            "generate",
+            "--out",
+            str(path),
+            "--jobs",
+            "12",
+            "--span",
+            "60",
+            "--seed",
+            "3",
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestTraceCommands:
+    def test_generate_writes_loadable_trace(self, tmp_path, capsys):
+        path = tmp_path / "g.npz"
+        rc = main(
+            ["trace", "generate", "--out", str(path), "--jobs", "12", "--span", "60", "--seed", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "frac_queries_in_jobs" in out
+        trace = Trace.load(path)
+        assert trace.n_jobs >= 12
+
+    def test_generate_with_speedup(self, tmp_path):
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        main(["trace", "generate", "--out", str(a), "--jobs", "10", "--span", "100", "--seed", "1"])
+        main(
+            [
+                "trace", "generate", "--out", str(b), "--jobs", "10", "--span", "100",
+                "--seed", "1", "--speedup", "4",
+            ]
+        )
+        ta, tb = Trace.load(a), Trace.load(b)
+        assert tb.span == pytest.approx(ta.span / 4)
+
+    def test_info(self, trace_file, capsys):
+        assert main(["trace", "info", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "dataset:" in out
+        assert "span:" in out
+
+
+class TestRunCommands:
+    def test_run_single_scheduler(self, trace_file, capsys):
+        assert main(["run", "--trace", str(trace_file), "--scheduler", "liferaft2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput_qps" in out
+
+    def test_run_with_cache_policy(self, trace_file, capsys):
+        assert main(["run", "--trace", str(trace_file), "--cache", "slru"]) == 0
+
+    def test_compare(self, trace_file, capsys):
+        rc = main(
+            [
+                "compare", "--trace", str(trace_file),
+                "--schedulers", "noshare", "jaws2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "noshare" in out and "jaws2" in out
+
+    def test_unknown_scheduler_rejected(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["run", "--trace", str(trace_file), "--scheduler", "belady"])
+
+
+class TestExperimentCommand:
+    def test_jobid_experiment(self, capsys):
+        assert main(["experiment", "jobid"]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestExperimentCsvExport:
+    def test_fig12_csv(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        stub = {"ks": [1, 5], "throughput": [0.5, 0.6], "liferaft2": 0.4}
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "fig12", (lambda scale: stub, lambda d: "fig12 stub")
+        )
+        out = tmp_path / "fig12.csv"
+        assert main(["experiment", "fig12", "--csv", str(out)]) == 0
+        assert out.exists()
+        assert "k,throughput_qps" in out.read_text()
+
+    def test_unsupported_csv_skipped(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "jobid", (lambda scale: {}, lambda d: "jobid stub")
+        )
+        out = tmp_path / "jobid.csv"
+        assert main(["experiment", "jobid", "--csv", str(out)]) == 0
+        assert not out.exists()
+        assert "skipped" in capsys.readouterr().out

@@ -1,0 +1,61 @@
+"""Tests for the disk cost model."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.storage.disk import DiskModel
+
+
+class TestUniformCost:
+    def test_each_read_costs_t_b(self):
+        disk = DiskModel(CostModel(t_b=0.05), n_atoms=100)
+        assert disk.read_atom(3) == pytest.approx(0.05)
+        assert disk.read_atom(90) == pytest.approx(0.05)
+        assert disk.stats.reads == 2
+        assert disk.stats.seconds == pytest.approx(0.10)
+
+    def test_unknown_atom_raises(self):
+        disk = DiskModel(CostModel(), n_atoms=10)
+        with pytest.raises(KeyError):
+            disk.read_atom(10)
+
+
+class TestSequentialDiscount:
+    def test_adjacent_reads_discounted(self):
+        disk = DiskModel(CostModel(t_b=0.1, seq_discount=0.2), n_atoms=100)
+        first = disk.read_atom(10)
+        second = disk.read_atom(11)  # physically next block
+        third = disk.read_atom(50)  # seek
+        assert first == pytest.approx(0.1)
+        assert second == pytest.approx(0.02)
+        assert third == pytest.approx(0.1)
+        assert disk.stats.sequential_reads == 1
+
+    def test_morton_scan_is_sequential(self):
+        """Reading a Morton-contiguous run through the clustered tree
+        hits consecutive physical blocks — the property batches rely on."""
+        disk = DiskModel(CostModel(t_b=1.0, seq_discount=0.5), n_atoms=64)
+        total = sum(disk.read_atom(a) for a in range(16))
+        assert total == pytest.approx(1.0 + 15 * 0.5)
+        assert disk.stats.sequential_reads == 15
+
+    def test_discount_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(seq_discount=0.0)
+        with pytest.raises(ValueError):
+            CostModel(seq_discount=1.5)
+
+    def test_repeat_same_atom_not_sequential(self):
+        disk = DiskModel(CostModel(t_b=1.0, seq_discount=0.5), n_atoms=8)
+        disk.read_atom(2)
+        assert disk.read_atom(2) == pytest.approx(1.0)
+
+
+class TestCostModelValidation:
+    def test_positive_costs(self):
+        with pytest.raises(ValueError):
+            CostModel(t_b=0)
+        with pytest.raises(ValueError):
+            CostModel(t_m=-1)
+        with pytest.raises(ValueError):
+            CostModel(t_overhead=-0.1)

@@ -1,0 +1,188 @@
+"""Integration tests for the discrete-event engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, CostModel, EngineConfig
+from repro.engine.runner import make_scheduler, run_trace
+from repro.engine.simulator import Simulator
+from repro.grid.dataset import DatasetSpec
+from repro.workload.generator import WorkloadParams, generate_trace
+from repro.workload.job import Job, JobKind
+from repro.workload.query import Query
+from repro.workload.trace import Trace
+
+SPEC = DatasetSpec.small(n_timesteps=6, atoms_per_axis=4)
+
+
+def small_trace(seed=0, n_jobs=15):
+    return generate_trace(SPEC, WorkloadParams(n_jobs=n_jobs, span=120.0, seed=seed))
+
+
+def engine():
+    return EngineConfig(
+        cost=CostModel(t_b=0.02, t_m=1e-5),
+        cache=CacheConfig(capacity_atoms=32),
+        run_length=10,
+    )
+
+
+ALL_SCHEDULERS = ("noshare", "liferaft1", "liferaft2", "jaws1", "jaws2")
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    def test_every_query_completes_exactly_once(self, name):
+        trace = small_trace()
+        result = run_trace(trace, name, engine())
+        assert result.n_queries == trace.n_queries
+        assert len(result.response_times) == trace.n_queries
+        assert result.n_jobs == trace.n_jobs
+
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    def test_no_forced_releases(self, name):
+        """A correct gating graph never needs the liveness valve."""
+        result = run_trace(small_trace(seed=3), name, engine())
+        assert result.forced_releases == 0
+
+    def test_response_times_nonnegative(self):
+        result = run_trace(small_trace(seed=1), "jaws2", engine())
+        assert (result.response_times >= 0).all()
+
+    def test_job_durations_positive(self):
+        result = run_trace(small_trace(seed=2), "liferaft2", engine())
+        assert all(d >= 0 for d in result.job_durations.values())
+        assert len(result.job_durations) == result.n_jobs
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ("noshare", "liferaft2", "jaws2"))
+    def test_same_trace_same_result(self, name):
+        r1 = run_trace(small_trace(seed=5), name, engine())
+        r2 = run_trace(small_trace(seed=5), name, engine())
+        assert r1.makespan == r2.makespan
+        np.testing.assert_array_equal(r1.response_times, r2.response_times)
+        assert r1.disk["reads"] == r2.disk["reads"]
+
+
+class TestOrderingSemantics:
+    def ordered_trace(self):
+        """One 3-query ordered job with 5s think time."""
+        queries = [
+            Query(
+                query_id=i,
+                job_id=0,
+                seq=i,
+                user_id=0,
+                op="velocity",
+                timestep=i,
+                positions=np.full((4, 3), 32.0 + i),
+            )
+            for i in range(3)
+        ]
+        job = Job(0, JobKind.ORDERED, 0, 0.0, 5.0, queries)
+        return Trace(SPEC, [job])
+
+    def test_think_time_separates_ordered_queries(self):
+        result = run_trace(self.ordered_trace(), "liferaft2", engine())
+        # Each query's completion precedes the next arrival by >= 5s,
+        # so the job spans at least 2 think times plus service.
+        assert result.job_durations[0] >= 10.0
+
+    def test_batched_job_queries_arrive_together(self):
+        queries = [
+            Query(
+                query_id=i,
+                job_id=0,
+                seq=i,
+                user_id=0,
+                op="stats",
+                timestep=0,
+                positions=np.full((4, 3), 40.0 + i * 64),
+            )
+            for i in range(3)
+        ]
+        job = Job(0, JobKind.BATCHED, 0, 0.0, 9.0, queries)
+        result = run_trace(Trace(SPEC, [job]), "liferaft2", engine())
+        # No think-time serialization: total well under 3 x 9s.
+        assert result.job_durations[0] < 9.0
+
+
+class TestCostAccounting:
+    def test_disk_seconds_match_reads(self):
+        eng = engine()
+        result = run_trace(small_trace(seed=7), "noshare", eng)
+        assert result.disk["seconds"] == pytest.approx(
+            result.disk["reads"] * eng.cost.t_b
+        )
+
+    def test_busy_time_at_least_compute(self):
+        eng = engine()
+        result = run_trace(small_trace(seed=7), "liferaft2", eng)
+        lower = result.exec["positions"] * eng.cost.t_m
+        assert result.exec["busy_seconds"] >= lower
+
+    def test_makespan_at_least_busy_time_single_node(self):
+        result = run_trace(small_trace(seed=7), "liferaft2", engine())
+        assert result.makespan >= result.exec["busy_seconds"] - 1e-9
+
+    def test_cache_capacity_never_exceeded(self):
+        eng = engine()
+        trace = small_trace(seed=8)
+        sched = make_scheduler("jaws2", trace, eng)
+        sim = Simulator(trace, [sched], eng)
+        sim.run()
+        assert len(sim.nodes[0].cache) <= eng.cache.capacity_atoms
+
+
+class TestRunBoundaries:
+    def test_runs_emitted_every_r_completions(self):
+        eng = engine()
+        trace = small_trace(seed=9, n_jobs=20)
+        result = run_trace(trace, "jaws2", eng)
+        assert len(result.runs) == trace.n_queries // eng.run_length
+
+    def test_adaptive_alpha_history_matches_runs(self):
+        eng = engine()
+        result = run_trace(small_trace(seed=9, n_jobs=20), "jaws2", eng)
+        assert len(result.alpha_history) == len(result.runs)
+
+
+class TestGuards:
+    def test_max_sim_time_enforced(self):
+        eng = EngineConfig(
+            cost=CostModel(t_b=0.02, t_m=1e-5),
+            cache=CacheConfig(capacity_atoms=32),
+            max_sim_time=1.0,
+        )
+        with pytest.raises(RuntimeError, match="max_sim_time"):
+            run_trace(small_trace(seed=1), "noshare", eng)
+
+    def test_unknown_scheduler_name(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            run_trace(small_trace(), "belady", engine())
+
+    def test_needs_at_least_one_scheduler(self):
+        with pytest.raises(ValueError):
+            Simulator(small_trace(), [], engine())
+
+
+class TestSharingActuallyHappens:
+    def test_liferaft_reads_fewer_atoms_than_noshare(self):
+        trace = small_trace(seed=11, n_jobs=25)
+        eng = engine()
+        no = run_trace(trace, "noshare", eng)
+        lr = run_trace(trace, "liferaft2", eng)
+        assert lr.disk["reads"] < no.disk["reads"]
+
+    def test_jaws2_fewer_reads_than_liferaft(self):
+        trace = generate_trace(
+            SPEC,
+            WorkloadParams(
+                n_jobs=25, span=120.0, campaign_prob=0.6, think_time_mean=1.0, seed=12
+            ),
+        )
+        eng = engine()
+        lr = run_trace(trace, "liferaft2", eng)
+        jw = run_trace(trace, "jaws2", eng)
+        assert jw.disk["reads"] <= lr.disk["reads"]

@@ -1,0 +1,117 @@
+"""Tests for DatasetSpec and AtomMapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.atoms import AtomMapper
+from repro.grid.dataset import DatasetSpec
+
+
+class TestDatasetSpec:
+    def test_production_geometry(self):
+        spec = DatasetSpec()  # paper defaults
+        assert spec.atoms_per_axis == 16
+        assert spec.atoms_per_timestep == 4096
+        assert spec.atom_bytes == 8 << 20
+
+    def test_small_helper(self):
+        spec = DatasetSpec.small(n_timesteps=8, atoms_per_axis=4)
+        assert spec.atoms_per_timestep == 64
+        assert spec.n_atoms == 512
+        assert spec.atom_side == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(grid_side=100, atom_side=64)
+        with pytest.raises(ValueError):
+            DatasetSpec(grid_side=192, atom_side=64)  # 3 atoms/axis
+        with pytest.raises(ValueError):
+            DatasetSpec(n_timesteps=0)
+        with pytest.raises(ValueError):
+            DatasetSpec(halo=64)
+
+    def test_duration(self):
+        spec = DatasetSpec(n_timesteps=11, dt=0.5)
+        assert spec.duration == pytest.approx(5.0)
+
+
+class TestAtomIdPacking:
+    spec = DatasetSpec.small(n_timesteps=5, atoms_per_axis=4)
+
+    def test_roundtrip(self):
+        for ts in range(self.spec.n_timesteps):
+            for m in (0, 1, 63):
+                a = self.spec.atom_id(ts, m)
+                assert self.spec.atom_timestep(a) == ts
+                assert self.spec.atom_morton(a) == m
+
+    def test_ids_unique(self):
+        ids = {
+            self.spec.atom_id(ts, m)
+            for ts in range(self.spec.n_timesteps)
+            for m in range(self.spec.atoms_per_timestep)
+        }
+        assert len(ids) == self.spec.n_atoms
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.spec.atom_id(5, 0)
+        with pytest.raises(ValueError):
+            self.spec.atom_id(0, 64)
+
+
+class TestAtomMapper:
+    spec = DatasetSpec.small(n_timesteps=4, atoms_per_axis=4)
+    mapper = AtomMapper(spec)
+
+    def test_wrap_periodic(self):
+        pos = np.array([[-1.0, 0.0, 300.0]])
+        wrapped = self.mapper.wrap(pos)
+        assert 0 <= wrapped[0, 0] < self.spec.grid_side
+        assert wrapped[0, 2] == pytest.approx(300.0 - self.spec.grid_side)
+
+    def test_atom_coords_basic(self):
+        pos = np.array([[0.0, 64.0, 130.0]])
+        np.testing.assert_array_equal(self.mapper.atom_coords(pos), [[0, 1, 2]])
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            self.mapper.atom_coords(np.zeros((3, 2)))
+
+    def test_atom_ids_timestep_offset(self):
+        pos = np.array([[1.0, 1.0, 1.0]])
+        a0 = self.mapper.atom_ids(pos, 0)[0]
+        a1 = self.mapper.atom_ids(pos, 1)[0]
+        assert a1 - a0 == self.spec.atoms_per_timestep
+
+    def test_group_by_atom_partitions_everything(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, self.spec.grid_side, (500, 3))
+        groups = self.mapper.group_by_atom(pos, 2)
+        all_idx = np.concatenate([idx for _, idx in groups])
+        assert sorted(all_idx) == list(range(500))
+
+    def test_group_by_atom_morton_sorted(self):
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(0, self.spec.grid_side, (200, 3))
+        groups = self.mapper.group_by_atom(pos, 0)
+        atom_ids = [a for a, _ in groups]
+        assert atom_ids == sorted(atom_ids)
+
+    def test_group_members_map_back_to_their_atom(self):
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, self.spec.grid_side, (300, 3))
+        for atom_id, idx in self.mapper.group_by_atom(pos, 1):
+            ids = self.mapper.atom_ids(pos[idx], 1)
+            assert (ids == atom_id).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_group_by_atom_total_positions(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 100))
+        pos = rng.uniform(-100, self.spec.grid_side + 100, (n, 3))
+        groups = self.mapper.group_by_atom(pos, 0)
+        assert sum(len(idx) for _, idx in groups) == n

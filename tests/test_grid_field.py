@@ -1,0 +1,102 @@
+"""Tests for the synthetic turbulence field and advection."""
+
+import numpy as np
+import pytest
+
+from repro.grid.field import SyntheticTurbulence, advect_positions
+
+
+def make_field(**kw):
+    defaults = dict(box_size=512.0, n_modes=24, u_rms=100.0, seed=3)
+    defaults.update(kw)
+    return SyntheticTurbulence(**defaults)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTurbulence(box_size=0)
+        with pytest.raises(ValueError):
+            SyntheticTurbulence(box_size=10, n_modes=0)
+        with pytest.raises(ValueError):
+            SyntheticTurbulence(box_size=10, k_min=5, k_max=2)
+
+    def test_deterministic_given_seed(self):
+        f1, f2 = make_field(seed=9), make_field(seed=9)
+        pts = np.array([[1.0, 2.0, 3.0], [100.0, 50.0, 10.0]])
+        np.testing.assert_array_equal(f1.velocity(pts, 0.5), f2.velocity(pts, 0.5))
+
+    def test_seeds_differ(self):
+        pts = np.array([[1.0, 2.0, 3.0]])
+        assert not np.allclose(
+            make_field(seed=1).velocity(pts, 0.0), make_field(seed=2).velocity(pts, 0.0)
+        )
+
+
+class TestFieldPhysics:
+    def test_periodicity(self):
+        f = make_field()
+        pts = np.array([[10.0, 20.0, 30.0]])
+        shifted = pts + f.box_size
+        np.testing.assert_allclose(
+            f.velocity(pts, 1.0), f.velocity(shifted, 1.0), rtol=1e-9, atol=1e-9
+        )
+
+    def test_rms_close_to_target(self):
+        f = make_field(u_rms=100.0, n_modes=64)
+        assert f.rms_velocity(n_samples=20000) == pytest.approx(100.0, rel=0.25)
+
+    def test_divergence_free(self):
+        """Central-difference divergence should vanish (mode polarizations
+        are orthogonal to their wavevectors)."""
+        f = make_field()
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, f.box_size, (50, 3))
+        h = 1e-3
+        div = np.zeros(50)
+        for axis in range(3):
+            dp = np.zeros(3)
+            dp[axis] = h
+            div += (f.velocity(pts + dp, 0.0) - f.velocity(pts - dp, 0.0))[:, axis] / (2 * h)
+        assert np.abs(div).max() < 1e-4 * f.u_rms
+
+    def test_time_variation(self):
+        f = make_field()
+        pts = np.array([[5.0, 5.0, 5.0]])
+        assert not np.allclose(f.velocity(pts, 0.0), f.velocity(pts, 10.0))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            make_field().velocity(np.zeros((4, 2)), 0.0)
+
+
+class TestAdvection:
+    def test_positions_stay_in_box(self):
+        f = make_field(u_rms=5000.0)
+        rng = np.random.default_rng(4)
+        pos = rng.uniform(0, f.box_size, (100, 3))
+        for step in range(20):
+            pos = advect_positions(f, pos, t=step * 0.01, dt=0.01)
+        assert (pos >= 0).all() and (pos < f.box_size).all()
+
+    def test_zero_dt_is_identity(self):
+        f = make_field()
+        pos = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(advect_positions(f, pos, 0.0, 0.0), pos)
+
+    def test_particles_actually_move(self):
+        f = make_field(u_rms=1000.0)
+        pos = np.array([[100.0, 100.0, 100.0]])
+        moved = advect_positions(f, pos, 0.0, 0.1)
+        assert np.linalg.norm(moved - pos) > 0
+
+    def test_cloud_stays_coherent_for_small_dt(self):
+        """A tight particle cloud advected one step stays a cloud —
+        the property that makes tracking queries spatially local."""
+        f = make_field(u_rms=500.0)
+        rng = np.random.default_rng(5)
+        cloud = 250.0 + rng.normal(0, 5.0, (200, 3))
+        moved = advect_positions(f, cloud, 0.0, 0.01)
+        spread_before = cloud.std(axis=0).mean()
+        spread_after = moved.std(axis=0).mean()
+        assert spread_after < 3 * spread_before

@@ -1,0 +1,114 @@
+"""Tests for §IV-A job identification heuristics."""
+
+import pytest
+
+from repro.grid.dataset import DatasetSpec
+from repro.workload.generator import WorkloadParams, generate_trace
+from repro.workload.identification import (
+    JobIdentifier,
+    LogRecord,
+    flatten_trace,
+    identification_accuracy,
+)
+
+SPEC = DatasetSpec.small(n_timesteps=16, atoms_per_axis=4)
+
+
+def rec(qid, user=0, op="interp", ts=0, t=0.0, n=100, job=None):
+    return LogRecord(qid, user, op, ts, t, n, true_job_id=job)
+
+
+class TestHeuristics:
+    def test_single_chain_grouped(self):
+        ident = JobIdentifier()
+        records = [rec(i, ts=i, t=3.0 * i) for i in range(5)]
+        ids = {ident.observe(r) for r in records}
+        assert len(ids) == 1
+
+    def test_different_users_split(self):
+        ident = JobIdentifier()
+        a = ident.observe(rec(0, user=1))
+        b = ident.observe(rec(1, user=2))
+        assert a != b
+
+    def test_different_ops_split(self):
+        ident = JobIdentifier()
+        a = ident.observe(rec(0, op="interp"))
+        b = ident.observe(rec(1, op="stats"))
+        assert a != b
+
+    def test_long_gap_splits(self):
+        ident = JobIdentifier(gap_threshold=60.0)
+        a = ident.observe(rec(0, ts=0, t=0.0))
+        b = ident.observe(rec(1, ts=1, t=500.0))
+        assert a != b
+
+    def test_timestep_jump_splits(self):
+        ident = JobIdentifier(max_step_delta=2)
+        a = ident.observe(rec(0, ts=0, t=0.0))
+        b = ident.observe(rec(1, ts=9, t=3.0))
+        assert a != b
+
+    def test_size_change_splits(self):
+        ident = JobIdentifier(size_tolerance=0.1)
+        a = ident.observe(rec(0, n=100, t=0.0))
+        b = ident.observe(rec(1, n=300, ts=1, t=3.0))
+        assert a != b
+
+    def test_backwards_timestep_splits_new_job(self):
+        ident = JobIdentifier()
+        a = ident.observe(rec(0, ts=5, t=0.0))
+        b = ident.observe(rec(1, ts=2, t=3.0))
+        assert a != b
+
+    def test_concurrent_jobs_same_user_separated_by_size(self):
+        """Two interleaved experiments from one user with distinct cloud
+        sizes must not be merged (the multi-open-job fix)."""
+        ident = JobIdentifier(size_tolerance=0.1)
+        ids = []
+        for i in range(4):
+            ids.append(ident.observe(rec(2 * i, ts=i, t=6.0 * i, n=100)))
+            ids.append(ident.observe(rec(2 * i + 1, ts=i, t=6.0 * i + 1, n=500)))
+        small_jobs = set(ids[0::2])
+        large_jobs = set(ids[1::2])
+        assert len(small_jobs) == 1
+        assert len(large_jobs) == 1
+        assert small_jobs != large_jobs
+
+    def test_stride_established_then_enforced(self):
+        ident = JobIdentifier()
+        ident.observe(rec(0, ts=0, t=0.0))
+        ident.observe(rec(1, ts=2, t=3.0))  # stride 2 established
+        a = ident.observe(rec(2, ts=4, t=6.0))  # continues
+        b = ident.observe(rec(3, ts=9, t=9.0))  # violates stride
+        assert a != b
+        assert ident.assignments[2] == ident.assignments[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobIdentifier(gap_threshold=0)
+
+
+class TestEndToEndAccuracy:
+    def test_high_f1_on_generated_trace(self):
+        trace = generate_trace(SPEC, WorkloadParams(n_jobs=120, span=2400.0, seed=5))
+        records = flatten_trace(trace)
+        assignments = JobIdentifier().run(records)
+        scores = identification_accuracy(records, assignments)
+        assert scores["f1"] > 0.85
+        assert scores["precision"] > 0.85
+        assert scores["recall"] > 0.85
+
+    def test_perfect_grouping_scores_one(self):
+        trace = generate_trace(SPEC, WorkloadParams(n_jobs=30, span=600.0, seed=6))
+        records = flatten_trace(trace)
+        truth = {r.query_id: r.true_job_id for r in records}
+        scores = identification_accuracy(records, truth)
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_all_singletons_zero_recall(self):
+        trace = generate_trace(SPEC, WorkloadParams(n_jobs=30, span=600.0, seed=6))
+        records = flatten_trace(trace)
+        singles = {r.query_id: r.query_id for r in records}
+        scores = identification_accuracy(records, singles)
+        assert scores["recall"] == 0.0

@@ -1,0 +1,84 @@
+"""Tests for the Lagrange interpolation kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.field import SyntheticTurbulence
+from repro.grid.kernels import interpolate_velocity, interpolation_error, lagrange_weights
+
+
+def smooth_field():
+    # Low wavenumbers only: well-resolved by the grid, so interpolation
+    # converges fast with order.
+    return SyntheticTurbulence(box_size=64.0, n_modes=12, u_rms=10.0, k_min=1.0, k_max=2.5, seed=7)
+
+
+class TestLagrangeWeights:
+    def test_partition_of_unity(self):
+        w = lagrange_weights(np.linspace(0, 0.999, 50), order=8)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_exact_at_nodes(self):
+        w = lagrange_weights(np.array([0.0]), order=6)
+        # frac = 0 -> all weight on the base node (offset 0, index h-1).
+        expected = np.zeros(6)
+        expected[2] = 1.0
+        np.testing.assert_allclose(w[0], expected, atol=1e-12)
+
+    def test_reproduces_polynomials(self):
+        """Order-p Lagrange weights integrate degree<p polynomials
+        exactly."""
+        frac = np.array([0.3, 0.77])
+        order = 6
+        nodes = np.arange(-2, 4, dtype=float)
+        w = lagrange_weights(frac, order)
+        for degree in range(order):
+            exact = frac**degree
+            approx = w @ (nodes**degree)
+            np.testing.assert_allclose(approx, exact, atol=1e-9)
+
+    def test_order_validated(self):
+        with pytest.raises(ValueError):
+            lagrange_weights(np.array([0.5]), order=5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0, 0.999), st.sampled_from([2, 4, 6, 8]))
+    def test_weights_bounded(self, frac, order):
+        w = lagrange_weights(np.array([frac]), order)
+        assert np.isfinite(w).all()
+        assert abs(w.sum() - 1.0) < 1e-9
+
+
+class TestInterpolateVelocity:
+    def test_exact_at_grid_nodes(self):
+        field = smooth_field()
+        nodes = np.array([[1.0, 2.0, 3.0], [10.0, 20.0, 30.0]])
+        out = interpolate_velocity(field, nodes, t=0.1, order=8)
+        np.testing.assert_allclose(out, field.velocity(nodes, 0.1), atol=1e-9)
+
+    def test_error_decreases_with_order(self):
+        field = smooth_field()
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 64.0, (200, 3))
+        errors = [interpolation_error(field, pts, 0.0, order) for order in (2, 4, 8)]
+        assert errors[1] < errors[0]
+        assert errors[2] < errors[1]
+
+    def test_high_order_is_accurate(self):
+        field = smooth_field()
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 64.0, (200, 3))
+        assert interpolation_error(field, pts, 0.0, order=8) < 1e-3
+
+    def test_periodic_boundary(self):
+        """Positions near the box edge interpolate across the wrap."""
+        field = smooth_field()
+        pts = np.array([[63.6, 0.2, 31.9]])
+        out = interpolate_velocity(field, pts, 0.0, order=8)
+        np.testing.assert_allclose(out, field.velocity(pts, 0.0), rtol=1e-3, atol=1e-4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            interpolate_velocity(smooth_field(), np.zeros((2, 2)), 0.0)

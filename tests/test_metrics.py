@@ -1,0 +1,107 @@
+"""Tests for Eq. 1 (workload throughput) and Eq. 2 (aged metric)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CostModel, MetricConfig
+from repro.core.metrics import aged_metric, workload_throughput
+
+COST = CostModel(t_b=0.04, t_m=2e-5)
+
+
+class TestWorkloadThroughput:
+    def test_formula_uncached(self):
+        w = np.array([100])
+        u = workload_throughput(w, np.array([False]), COST)
+        assert u[0] == pytest.approx(100 / (0.04 + 2e-5 * 100))
+
+    def test_cached_atom_is_compute_bound(self):
+        """phi = 0: the denominator reduces to T_m * W, so U_t = 1/T_m
+        for any cached atom with pending work."""
+        w = np.array([1, 1000])
+        u = workload_throughput(w, np.array([True, True]), COST)
+        assert u[0] == pytest.approx(1 / COST.t_m)
+        assert u[1] == pytest.approx(1 / COST.t_m)
+
+    def test_cached_beats_uncached(self):
+        u = workload_throughput(
+            np.array([10_000, 1]), np.array([False, True]), COST
+        )
+        assert u[1] > u[0]
+
+    def test_monotone_in_queue_size_when_uncached(self):
+        w = np.array([1, 10, 100, 1000, 10000])
+        u = workload_throughput(w, np.zeros(5, dtype=bool), COST)
+        assert (np.diff(u) > 0).all()
+
+    def test_zero_queue_zero_throughput(self):
+        u = workload_throughput(np.array([0]), np.array([True]), COST)
+        assert u[0] == 0.0
+
+    def test_empty_input(self):
+        u = workload_throughput(np.array([]), np.array([], dtype=bool), COST)
+        assert len(u) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 10**6), st.booleans())
+    def test_bounded_by_compute_rate(self, w, cached):
+        u = workload_throughput(np.array([w]), np.array([cached]), COST)
+        assert 0 < u[0] <= 1 / COST.t_m + 1e-9
+
+
+class TestAgedMetric:
+    def test_alpha_zero_is_contention_order(self):
+        u_t = np.array([1.0, 5.0, 3.0])
+        oldest = np.array([0.0, 10.0, 5.0])
+        u_e = aged_metric(u_t, oldest, now=20.0, alpha=0.0, config=MetricConfig())
+        assert np.argmax(u_e) == 1  # follows U_t
+
+    def test_alpha_one_is_arrival_order(self):
+        u_t = np.array([1.0, 5.0, 3.0])
+        oldest = np.array([0.0, 10.0, 5.0])
+        u_e = aged_metric(u_t, oldest, now=20.0, alpha=1.0, config=MetricConfig())
+        assert np.argmax(u_e) == 0  # oldest wins
+
+    def test_normalized_interpolates(self):
+        u_t = np.array([0.0, 10.0])
+        oldest = np.array([0.0, 10.0])  # atom 0 is older, atom 1 hotter
+        cfg = MetricConfig(normalize=True)
+        lo = aged_metric(u_t, oldest, 20.0, 0.2, cfg)
+        hi = aged_metric(u_t, oldest, 20.0, 0.8, cfg)
+        assert np.argmax(lo) == 1
+        assert np.argmax(hi) == 0
+
+    def test_raw_formula_units(self):
+        cfg = MetricConfig(normalize=False, age_units=1e-3)
+        u_t = np.array([100.0])
+        oldest = np.array([0.0])
+        u_e = aged_metric(u_t, oldest, now=2.0, alpha=0.5, config=cfg)
+        # 0.5 * 100 + 0.5 * 2000ms
+        assert u_e[0] == pytest.approx(0.5 * 100 + 0.5 * 2000)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            aged_metric(np.array([1.0]), np.array([0.0]), 1.0, 1.5, MetricConfig())
+
+    def test_empty_input(self):
+        out = aged_metric(np.array([]), np.array([]), 1.0, 0.5, MetricConfig())
+        assert len(out) == 0
+
+    def test_constant_inputs_normalize_to_zero(self):
+        u_t = np.array([5.0, 5.0])
+        oldest = np.array([1.0, 1.0])
+        u_e = aged_metric(u_t, oldest, 2.0, 0.5, MetricConfig())
+        np.testing.assert_array_equal(u_e, [0.0, 0.0])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0, 1e4), min_size=2, max_size=20),
+        st.floats(0, 1),
+    )
+    def test_normalized_range(self, u_t_vals, alpha):
+        u_t = np.array(u_t_vals)
+        oldest = np.zeros(len(u_t))
+        u_e = aged_metric(u_t, oldest, 10.0, alpha, MetricConfig())
+        assert (u_e >= -1e-12).all() and (u_e <= 1 + 1e-12).all()

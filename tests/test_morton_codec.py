@@ -1,0 +1,105 @@
+"""Unit and property tests for the Morton codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.morton.codec import (
+    MAX_COORD_BITS,
+    morton_decode,
+    morton_decode_scalar,
+    morton_encode,
+    morton_encode_scalar,
+)
+
+COORD = st.integers(min_value=0, max_value=(1 << MAX_COORD_BITS) - 1)
+
+
+class TestKnownValues:
+    def test_origin(self):
+        assert morton_encode_scalar(0, 0, 0) == 0
+
+    def test_unit_axes(self):
+        # Bit order: x at bit 0, y at bit 1, z at bit 2.
+        assert morton_encode_scalar(1, 0, 0) == 0b001
+        assert morton_encode_scalar(0, 1, 0) == 0b010
+        assert morton_encode_scalar(0, 0, 1) == 0b100
+
+    def test_second_bits(self):
+        assert morton_encode_scalar(2, 0, 0) == 0b001000
+        assert morton_encode_scalar(0, 2, 0) == 0b010000
+        assert morton_encode_scalar(0, 0, 2) == 0b100000
+
+    def test_combined(self):
+        # (3, 1, 0): x bits at 0 and 3, y bit at 1.
+        assert morton_encode_scalar(3, 1, 0) == 0b001011
+
+    def test_octant_structure(self):
+        # The first 8 codes enumerate the 2x2x2 octant corners.
+        seen = set()
+        for code in range(8):
+            x, y, z = morton_decode_scalar(code)
+            assert 0 <= x <= 1 and 0 <= y <= 1 and 0 <= z <= 1
+            seen.add((x, y, z))
+        assert len(seen) == 8
+
+    def test_max_coordinate_roundtrip(self):
+        m = (1 << MAX_COORD_BITS) - 1
+        assert morton_decode_scalar(morton_encode_scalar(m, m, m)) == (m, m, m)
+
+
+class TestVectorized:
+    def test_array_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 1 << MAX_COORD_BITS, 1000)
+        y = rng.integers(0, 1 << MAX_COORD_BITS, 1000)
+        z = rng.integers(0, 1 << MAX_COORD_BITS, 1000)
+        dx, dy, dz = morton_decode(morton_encode(x, y, z))
+        np.testing.assert_array_equal(dx, x.astype(np.uint64))
+        np.testing.assert_array_equal(dy, y.astype(np.uint64))
+        np.testing.assert_array_equal(dz, z.astype(np.uint64))
+
+    def test_dtype_is_uint64(self):
+        assert morton_encode(np.array([1]), np.array([2]), np.array([3])).dtype == np.uint64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([-1]), np.array([0]), np.array([0]))
+
+    def test_too_large_rejected(self):
+        big = np.array([1 << MAX_COORD_BITS])
+        with pytest.raises(ValueError):
+            morton_encode(big, np.array([0]), np.array([0]))
+
+
+class TestProperties:
+    @given(COORD, COORD, COORD)
+    def test_roundtrip(self, x, y, z):
+        assert morton_decode_scalar(morton_encode_scalar(x, y, z)) == (x, y, z)
+
+    @given(COORD, COORD, COORD)
+    def test_injective_vs_manual_interleave(self, x, y, z):
+        code = morton_encode_scalar(x, y, z)
+        manual = 0
+        for bit in range(MAX_COORD_BITS):
+            manual |= ((x >> bit) & 1) << (3 * bit)
+            manual |= ((y >> bit) & 1) << (3 * bit + 1)
+            manual |= ((z >> bit) & 1) << (3 * bit + 2)
+        assert code == manual
+
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_locality_within_cube(self, corner_code):
+        """All codes of an aligned 2x2x2 cube share their high bits."""
+        base = corner_code << 3
+        coords = [morton_decode_scalar(base + i) for i in range(8)]
+        xs, ys, zs = zip(*coords)
+        assert max(xs) - min(xs) == 1
+        assert max(ys) - min(ys) == 1
+        assert max(zs) - min(zs) == 1
+
+    @given(COORD, COORD)
+    def test_monotone_along_x_within_cell(self, y, z):
+        a = morton_encode_scalar(0, y, z)
+        b = morton_encode_scalar(1, y, z)
+        assert b == a + 1

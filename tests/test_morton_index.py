@@ -1,0 +1,142 @@
+"""Tests for the hierarchical Morton index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.morton.index import MortonIndex
+
+
+class TestConstruction:
+    def test_side_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            MortonIndex(12)
+
+    def test_side_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MortonIndex(0)
+
+    def test_levels(self):
+        assert MortonIndex(1).levels == 0
+        assert MortonIndex(16).levels == 4
+
+    def test_n_atoms(self):
+        assert MortonIndex(16).n_atoms == 4096  # the production grid
+
+
+class TestEncodeDecode:
+    def test_bounds_checked(self):
+        idx = MortonIndex(8)
+        with pytest.raises(ValueError):
+            idx.encode(np.array([8]), np.array([0]), np.array([0]))
+        with pytest.raises(ValueError):
+            idx.decode(np.array([512], dtype=np.uint64))
+
+    def test_all_codes_bijective(self):
+        idx = MortonIndex(4)
+        codes = np.arange(64, dtype=np.uint64)
+        x, y, z = idx.decode(codes)
+        np.testing.assert_array_equal(idx.encode(x, y, z), codes)
+
+
+class TestCubeRange:
+    def test_whole_grid(self):
+        idx = MortonIndex(8)
+        assert idx.cube_range(0, 0, 0, 3) == (0, 512)
+
+    def test_single_atom(self):
+        idx = MortonIndex(8)
+        lo, hi = idx.cube_range(3, 5, 7, 0)
+        assert hi - lo == 1
+
+    def test_unaligned_rejected(self):
+        idx = MortonIndex(8)
+        with pytest.raises(ValueError):
+            idx.cube_range(1, 0, 0, 1)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            MortonIndex(4).cube_range(0, 0, 0, 3)
+
+    def test_octant_ranges_partition_grid(self):
+        idx = MortonIndex(4)
+        ranges = [
+            idx.cube_range(x, y, z, 1)
+            for z in (0, 2)
+            for y in (0, 2)
+            for x in (0, 2)
+        ]
+        covered = sorted(ranges)
+        assert covered[0][0] == 0
+        assert covered[-1][1] == 64
+        for (a, b), (c, d) in zip(covered, covered[1:]):
+            assert b == c  # contiguous, disjoint
+
+
+class TestBoxQueries:
+    def brute_force(self, idx, lo, hi):
+        out = []
+        for x in range(lo[0], hi[0] + 1):
+            for y in range(lo[1], hi[1] + 1):
+                for z in range(lo[2], hi[2] + 1):
+                    out.append(
+                        int(idx.encode(np.array([x]), np.array([y]), np.array([z]))[0])
+                    )
+        return sorted(out)
+
+    def test_full_grid_box_is_one_range(self):
+        idx = MortonIndex(8)
+        assert idx.box_to_ranges((0, 0, 0), (7, 7, 7)) == [(0, 512)]
+
+    def test_invalid_box_rejected(self):
+        idx = MortonIndex(8)
+        with pytest.raises(ValueError):
+            idx.box_to_ranges((2, 0, 0), (1, 7, 7))
+        with pytest.raises(ValueError):
+            idx.box_to_ranges((0, 0, 0), (8, 0, 0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_box_codes_match_brute_force(self, data):
+        idx = MortonIndex(8)
+        lo = [data.draw(st.integers(0, 7), label=f"lo{a}") for a in range(3)]
+        hi = [data.draw(st.integers(lo[a], 7), label=f"hi{a}") for a in range(3)]
+        codes = idx.box_codes(tuple(lo), tuple(hi))
+        assert sorted(int(c) for c in codes) == self.brute_force(idx, lo, hi)
+        # Morton (ascending) order is the scan order.
+        assert list(codes) == sorted(codes)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_ranges_are_disjoint_sorted_coalesced(self, data):
+        idx = MortonIndex(8)
+        lo = [data.draw(st.integers(0, 7)) for _ in range(3)]
+        hi = [data.draw(st.integers(lo[a], 7)) for a in range(3)]
+        ranges = idx.box_to_ranges(tuple(lo), tuple(hi))
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b < c  # sorted, disjoint, and coalesced (no b == c)
+
+
+class TestNeighbors:
+    def test_interior_count(self):
+        idx = MortonIndex(8)
+        center = int(idx.encode(np.array([4]), np.array([4]), np.array([4]))[0])
+        assert len(idx.neighbors(center, radius=1)) == 26
+
+    def test_periodic_wrap(self):
+        idx = MortonIndex(8)
+        corner = int(idx.encode(np.array([0]), np.array([0]), np.array([0]))[0])
+        neighbors = idx.neighbors(corner, radius=1, periodic=True)
+        assert len(neighbors) == 26
+        xs, ys, zs = idx.decode(neighbors)
+        assert 7 in xs  # wrapped to the far face
+
+    def test_non_periodic_corner(self):
+        idx = MortonIndex(8)
+        corner = int(idx.encode(np.array([0]), np.array([0]), np.array([0]))[0])
+        assert len(idx.neighbors(corner, radius=1, periodic=False)) == 7
+
+    def test_excludes_self(self):
+        idx = MortonIndex(4)
+        assert 0 not in idx.neighbors(0, radius=1)

@@ -1,0 +1,122 @@
+"""Tests for the per-atom workload queues."""
+
+import numpy as np
+import pytest
+
+from repro.core.queues import WorkloadQueues
+from repro.grid.atoms import AtomMapper
+from repro.grid.dataset import DatasetSpec
+from repro.workload.query import Query, preprocess_query
+
+SPEC = DatasetSpec.small(n_timesteps=4, atoms_per_axis=4)
+MAPPER = AtomMapper(SPEC)
+
+
+def make_subqueries(n_positions=50, timestep=0, seed=0, qid=0):
+    rng = np.random.default_rng(seed)
+    q = Query(
+        query_id=qid,
+        job_id=qid,
+        seq=0,
+        user_id=0,
+        op="velocity",
+        timestep=timestep,
+        positions=rng.uniform(0, SPEC.grid_side, (n_positions, 3)),
+    )
+    return preprocess_query(q, MAPPER)
+
+
+class TestAddPop:
+    def test_counts_aggregate(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        subs = make_subqueries(100)
+        for sq in subs:
+            queues.add(sq, now=1.0)
+        assert queues.total_positions == 100
+        assert len(queues) == len({sq.atom_id for sq in subs})
+
+    def test_pop_returns_all_subqueries(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        subs = make_subqueries(200, seed=1)
+        for sq in subs:
+            queues.add(sq, now=0.0)
+        atom = subs[0].atom_id
+        drained = queues.pop_atom(atom)
+        assert all(sq.atom_id == atom for sq in drained)
+        assert atom not in queues
+        assert queues.total_positions == 200 - sum(sq.n_positions for sq in drained)
+
+    def test_pop_missing_raises(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        with pytest.raises(KeyError):
+            queues.pop_atom(42)
+
+    def test_slot_recycling(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        subs = make_subqueries(30, seed=2)
+        for cycle in range(3):
+            for sq in subs:
+                queues.add(sq, now=float(cycle))
+            for atom in {sq.atom_id for sq in subs}:
+                queues.pop_atom(atom)
+        assert len(queues) == 0
+        assert queues.total_positions == 0
+
+    def test_oldest_arrival_preserved_across_adds(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        subs = make_subqueries(20, seed=3)
+        atom = subs[0].atom_id
+        queues.add(subs[0], now=1.0)
+        queues.add(subs[0], now=9.0)  # later arrival must not reset age
+        assert queues.oldest_arrival(atom) == 1.0
+
+
+class TestViews:
+    def test_active_view_parallel_arrays(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        for sq in make_subqueries(120, seed=4):
+            queues.add(sq, now=2.0)
+        ids, counts, oldest, cached = queues.active_view()
+        assert len(ids) == len(queues)
+        assert counts.sum() == 120
+        assert (oldest == 2.0).all()
+        assert not cached.any()
+
+    def test_empty_view(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        ids, counts, oldest, cached = queues.active_view()
+        assert len(ids) == len(counts) == len(oldest) == len(cached) == 0
+
+    def test_timesteps_of(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        ids = np.array([0, SPEC.atoms_per_timestep + 3, 2 * SPEC.atoms_per_timestep])
+        np.testing.assert_array_equal(queues.timesteps_of(ids), [0, 1, 2])
+
+
+class TestCacheFlags:
+    def test_flags_follow_listeners(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        subs = make_subqueries(40, seed=5)
+        atom = subs[0].atom_id
+        queues.on_cache_insert(atom)  # cached before any queue entry
+        for sq in subs:
+            queues.add(sq, now=0.0)
+        ids, _, _, cached = queues.active_view()
+        assert cached[list(ids).index(atom)]
+        queues.on_cache_evict(atom)
+        ids, _, _, cached = queues.active_view()
+        assert not cached[list(ids).index(atom)]
+
+    def test_growth_beyond_initial_slot_block(self):
+        """The slot arrays grow in blocks of 256; exercise crossing it
+        (the 4-step x 64-atom spec has exactly 256 distinct atoms)."""
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        made = 0
+        for seed in range(40):
+            for sq in make_subqueries(60, timestep=seed % 4, seed=seed, qid=seed):
+                queues.add(sq, now=0.0)
+                made += sq.n_positions
+        assert queues.total_positions == made
+        ids, counts, _, _ = queues.active_view()
+        assert counts.sum() == made
+        assert len(ids) <= 256

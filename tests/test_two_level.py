@@ -1,0 +1,65 @@
+"""Tests for two-level batch selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.two_level import select_two_level
+
+
+def run(atom_ids, timesteps, u_t, k, u_e=None):
+    atom_ids = np.asarray(atom_ids)
+    timesteps = np.asarray(timesteps)
+    u_t = np.asarray(u_t, dtype=float)
+    u_e = u_t if u_e is None else np.asarray(u_e, dtype=float)
+    return select_two_level(atom_ids, timesteps, u_t, u_e, k)
+
+
+class TestTimestepSelection:
+    def test_densest_timestep_wins(self):
+        # Step 0: one hot atom (5). Step 1: three warm atoms (3+3+3=9).
+        chosen = run([0, 100, 101, 102], [0, 1, 1, 1], [5, 3, 3, 3], k=10)
+        assert chosen == [100, 101, 102]
+
+    def test_single_atom_case(self):
+        assert run([7], [0], [1.0], k=5) == [7]
+
+    def test_empty(self):
+        assert run([], [], [], k=3) == []
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            run([1], [0], [1.0], k=0)
+
+
+class TestAtomFilter:
+    def test_above_mean_only(self):
+        # Mean of (10, 2, 2, 2) = 4: only the 10 qualifies.
+        chosen = run([1, 2, 3, 4], [0, 0, 0, 0], [10, 2, 2, 2], k=10)
+        assert chosen == [1]
+
+    def test_all_equal_all_qualify(self):
+        chosen = run([1, 2, 3], [0, 0, 0], [4, 4, 4], k=10)
+        assert chosen == [1, 2, 3]
+
+    def test_k_caps_batch(self):
+        ids = list(range(20))
+        chosen = run(ids, [0] * 20, list(range(20, 0, -1)), k=5)
+        assert len(chosen) == 5
+
+    def test_k_picks_best_by_aged_metric(self):
+        u_t = [10, 10, 10, 10]
+        u_e = [1, 4, 3, 2]
+        chosen = run([5, 6, 7, 8], [0, 0, 0, 0], u_t, k=2, u_e=u_e)
+        assert sorted(chosen) == [6, 7]
+
+
+class TestMortonOrdering:
+    def test_batch_sorted_by_atom_id(self):
+        ids = [42, 7, 99, 13]
+        chosen = run(ids, [0] * 4, [5, 5, 5, 5], k=4)
+        assert chosen == sorted(ids)
+
+    def test_ties_break_to_lower_morton(self):
+        # k=2 of four equal atoms: the two lowest ids win.
+        chosen = run([40, 10, 30, 20], [0] * 4, [1, 1, 1, 1], k=2)
+        assert chosen == [10, 20]

@@ -1,0 +1,205 @@
+"""Tests for queries, jobs, the generator and trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.grid.atoms import AtomMapper
+from repro.grid.dataset import DatasetSpec
+from repro.workload.generator import WorkloadParams, _timestep_popularity, generate_trace
+from repro.workload.job import Job, JobKind
+from repro.workload.query import Query, preprocess_query
+from repro.workload.stats import (
+    estimate_job_durations,
+    job_duration_histogram,
+    queries_per_timestep,
+    workload_summary,
+)
+from repro.workload.trace import Trace
+
+SPEC = DatasetSpec.small(n_timesteps=16, atoms_per_axis=4)
+
+
+class TestQueryValidation:
+    def test_bad_op(self):
+        with pytest.raises(ValueError):
+            Query(0, 0, 0, 0, "join", 0, np.zeros((1, 3)))
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            Query(0, 0, 0, 0, "velocity", 0, np.zeros((3,)))
+
+    def test_empty_positions(self):
+        with pytest.raises(ValueError):
+            Query(0, 0, 0, 0, "velocity", 0, np.zeros((0, 3)))
+
+    def test_atoms_cached(self):
+        q = Query(0, 0, 0, 0, "velocity", 2, np.full((5, 3), 33.0))
+        atoms = q.atoms(SPEC)
+        assert q.atom_set is atoms
+        assert len(atoms) == 1
+
+
+class TestPreprocess:
+    def test_subqueries_partition_positions(self):
+        rng = np.random.default_rng(0)
+        q = Query(0, 0, 0, 0, "velocity", 1, rng.uniform(0, SPEC.grid_side, (200, 3)))
+        subs = preprocess_query(q, AtomMapper(SPEC))
+        assert sum(sq.n_positions for sq in subs) == 200
+        assert q.atom_set == frozenset(sq.atom_id for sq in subs)
+        ids = [sq.atom_id for sq in subs]
+        assert ids == sorted(ids)  # Morton order
+
+
+class TestJobValidation:
+    def make_queries(self, n, job_id=0):
+        return [
+            Query(i, job_id, i, 0, "velocity", 0, np.full((2, 3), 10.0)) for i in range(n)
+        ]
+
+    def test_seq_must_be_contiguous(self):
+        queries = self.make_queries(2)
+        queries[1].seq = 5
+        with pytest.raises(ValueError):
+            Job(0, JobKind.ORDERED, 0, 0.0, 1.0, queries)
+
+    def test_job_id_consistency(self):
+        queries = self.make_queries(2, job_id=9)
+        with pytest.raises(ValueError):
+            Job(0, JobKind.ORDERED, 0, 0.0, 1.0, queries)
+
+    def test_negative_times(self):
+        with pytest.raises(ValueError):
+            Job(0, JobKind.ORDERED, 0, -1.0, 1.0, self.make_queries(1))
+
+    def test_timesteps_property(self):
+        queries = self.make_queries(3)
+        for i, q in enumerate(queries):
+            q.timestep = i % 2
+        job = Job(0, JobKind.ORDERED, 0, 0.0, 1.0, queries)
+        assert job.timesteps == {0, 1}
+
+
+class TestGeneratorCalibration:
+    """The synthetic trace must match the paper's §VI-A characterization."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(SPEC, WorkloadParams(n_jobs=300, span=6000.0, seed=11))
+
+    def test_deterministic(self):
+        t1 = generate_trace(SPEC, WorkloadParams(n_jobs=40, span=500.0, seed=4))
+        t2 = generate_trace(SPEC, WorkloadParams(n_jobs=40, span=500.0, seed=4))
+        assert t1.n_queries == t2.n_queries
+        for ja, jb in zip(t1.jobs, t2.jobs):
+            assert ja.submit_time == jb.submit_time
+            for qa, qb in zip(ja.queries, jb.queries):
+                np.testing.assert_array_equal(qa.positions, qb.positions)
+
+    def test_most_queries_belong_to_jobs(self, trace):
+        """Paper: over 95% of queries belong to (multi-query) jobs."""
+        s = workload_summary(trace)
+        assert s["frac_queries_in_jobs"] > 0.9
+
+    def test_most_jobs_single_timestep(self, trace):
+        """Paper: 88% of jobs access only a single time step."""
+        s = workload_summary(trace)
+        assert 0.7 <= s["frac_jobs_single_timestep"] <= 0.97
+
+    def test_timestep_popularity_clustered_at_ends(self, trace):
+        """Paper Fig. 9: popularity clusters at start/end of sim time."""
+        counts = queries_per_timestep(trace)
+        n = SPEC.n_timesteps
+        edge = counts[: n // 4].sum() + counts[-n // 4 :].sum()
+        assert edge > counts.sum() * 0.4
+
+    def test_downward_trend(self, trace):
+        counts = queries_per_timestep(trace)
+        half = SPEC.n_timesteps // 2
+        assert counts[1:half].sum() > counts[half:-1].sum()
+
+    def test_ordered_jobs_advance_monotonically(self, trace):
+        for job in trace.jobs:
+            job.validate_ordered_chain()
+
+    def test_submit_times_sorted_within_span(self, trace):
+        times = [j.submit_time for j in trace.jobs]
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+    def test_popularity_shape_helper(self):
+        w = _timestep_popularity(31)
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] > w[15]  # start cluster
+        assert w[30] > w[15]  # end cluster
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(frac_tracking=0.8, frac_batched=0.4)
+        with pytest.raises(ValueError):
+            WorkloadParams(n_jobs=0)
+        with pytest.raises(ValueError):
+            WorkloadParams(burstiness=2.0)
+
+
+class TestTrace:
+    def make(self, seed=0):
+        return generate_trace(SPEC, WorkloadParams(n_jobs=25, span=300.0, seed=seed))
+
+    def test_rescale_compresses_gaps(self):
+        trace = self.make()
+        fast = trace.rescale(2.0)
+        assert fast.span == pytest.approx(trace.span / 2.0)
+        assert fast.n_queries == trace.n_queries
+        # Think times untouched.
+        for a, b in zip(trace.jobs, fast.jobs):
+            assert a.think_time == b.think_time
+
+    def test_rescale_validation(self):
+        with pytest.raises(ValueError):
+            self.make().rescale(0.0)
+
+    def test_rescale_preserves_order(self):
+        fast = self.make().rescale(4.0)
+        times = [j.submit_time for j in fast.jobs]
+        assert times == sorted(times)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = self.make(seed=3)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.spec == trace.spec
+        assert loaded.n_jobs == trace.n_jobs
+        assert loaded.n_queries == trace.n_queries
+        for ja, jb in zip(trace.jobs, loaded.jobs):
+            assert ja.job_id == jb.job_id
+            assert ja.kind == jb.kind
+            assert ja.submit_time == pytest.approx(jb.submit_time)
+            for qa, qb in zip(ja.queries, jb.queries):
+                np.testing.assert_allclose(qa.positions, qb.positions)
+                assert qa.timestep == qb.timestep
+
+    def test_duplicate_job_ids_rejected(self):
+        trace = self.make()
+        with pytest.raises(ValueError):
+            Trace(trace.spec, trace.jobs + [trace.jobs[0]])
+
+
+class TestStats:
+    def test_duration_histogram_buckets(self):
+        durations = {0: 30.0, 1: 120.0, 2: 2000.0, 3: 10000.0}
+        h = job_duration_histogram(durations)
+        assert h["<1min"] == pytest.approx(0.25)
+        assert h["1-30min"] == pytest.approx(0.25)
+        assert h["30min-2h"] == pytest.approx(0.25)
+        assert h[">2h"] == pytest.approx(0.25)
+
+    def test_empty_histogram(self):
+        h = job_duration_histogram({})
+        assert all(v == 0.0 for v in h.values())
+
+    def test_estimates_scale_with_job_length(self):
+        trace = generate_trace(SPEC, WorkloadParams(n_jobs=30, span=300.0, seed=1))
+        est = estimate_job_durations(trace, exec_time_estimate=1.0)
+        for job in trace.jobs:
+            assert est[job.job_id] >= job.n_queries * 1.0
