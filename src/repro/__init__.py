@@ -34,14 +34,22 @@ Subpackages
     Harnesses regenerating every figure and table of §VI.
 """
 
-from repro.config import CacheConfig, CostModel, EngineConfig, MetricConfig, SchedulerConfig
+from repro.config import (
+    CacheConfig,
+    CostModel,
+    EngineConfig,
+    FaultConfig,
+    MetricConfig,
+    SchedulerConfig,
+)
 from repro.core import (
     AdaptiveAlphaController,
     JAWSScheduler,
     LifeRaftScheduler,
     NoShareScheduler,
 )
-from repro.engine import RunResult, Simulator, make_scheduler, run_trace
+from repro.engine import FaultInjector, RunResult, Simulator, make_scheduler, run_trace
+from repro.errors import LivelockError, SimTimeExceededError, SimulationError
 from repro.grid import DatasetSpec, SyntheticTurbulence
 from repro.workload import Trace, WorkloadParams, generate_trace
 
@@ -54,6 +62,11 @@ __all__ = [
     "MetricConfig",
     "SchedulerConfig",
     "EngineConfig",
+    "FaultConfig",
+    "FaultInjector",
+    "SimulationError",
+    "LivelockError",
+    "SimTimeExceededError",
     "DatasetSpec",
     "SyntheticTurbulence",
     "Trace",

@@ -6,6 +6,8 @@ repro.cli``::
     repro trace generate --out trace.npz --jobs 120 --speedup 8
     repro trace info trace.npz
     repro run --trace trace.npz --scheduler jaws2 --cache urc
+    repro run --trace trace.npz --nodes 4 --disk-fault-rate 0.05 \
+        --replication 2 --crash 1:100:600
     repro compare --trace trace.npz
     repro experiment fig10 --scale small
 """
@@ -17,6 +19,8 @@ import dataclasses
 import sys
 from typing import Optional, Sequence
 
+from repro.cluster.cluster import run_cluster
+from repro.config import FaultConfig
 from repro.engine.runner import SCHEDULER_NAMES, run_trace
 from repro.experiments import ablations, fig08, fig09, fig10, fig11, fig12, jobid, table1
 from repro.experiments.common import (
@@ -40,6 +44,60 @@ EXPERIMENTS = {
     "jobid": (jobid.run, jobid.render),
     "urc-ablation": (ablations.urc_vs_saturation, ablations.render_urc),
 }
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    grp = parser.add_argument_group("fault injection (degraded-mode runs)")
+    grp.add_argument(
+        "--disk-fault-rate", type=float, default=0.0,
+        help="probability a disk read fails transiently (retried with backoff)",
+    )
+    grp.add_argument(
+        "--loss-rate", type=float, default=0.0,
+        help="probability an atom copy is permanently lost on first access",
+    )
+    grp.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query deadline in engine seconds (overdue queries cancel)",
+    )
+    grp.add_argument("--fault-seed", type=int, default=0, help="fault injector RNG seed")
+    grp.add_argument(
+        "--replication", type=int, default=1,
+        help="owners per atom (failover targets beyond the primary)",
+    )
+    grp.add_argument(
+        "--crash", action="append", default=[], metavar="NODE:DOWN:UP",
+        help="crash node NODE at time DOWN, recover at UP (repeatable)",
+    )
+
+
+def _fault_config(args) -> Optional[FaultConfig]:
+    crashes = []
+    for spec in args.crash:
+        parts = spec.split(":")
+        try:
+            if len(parts) != 3:
+                raise ValueError
+            crashes.append((int(parts[0]), float(parts[1]), float(parts[2])))
+        except ValueError:
+            raise SystemExit(f"--crash expects NODE:DOWN:UP, got {spec!r}") from None
+    try:
+        faults = FaultConfig(
+            seed=args.fault_seed,
+            transient_fault_rate=args.disk_fault_rate,
+            permanent_loss_rate=args.loss_rate,
+            query_deadline=args.deadline,
+            replication=args.replication,
+            node_crashes=tuple(crashes),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid fault configuration: {exc}") from None
+    if args.replication > max(args.nodes, 1):
+        raise SystemExit(
+            f"--replication {args.replication} needs at least that many nodes "
+            f"(got --nodes {args.nodes})"
+        )
+    return faults if faults.enabled or args.replication > 1 else None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -69,6 +127,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="jaws2")
     run_p.add_argument("--cache", choices=["lru", "lruk", "slru", "urc"], default=None)
     run_p.add_argument("--speedup", type=float, default=1.0)
+    run_p.add_argument("--nodes", type=int, default=1, help="cluster size")
+    _add_fault_args(run_p)
 
     cmp_p = sub.add_parser("compare", help="replay a trace under several schedulers")
     cmp_p.add_argument("--trace", required=True)
@@ -76,6 +136,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--schedulers", nargs="+", choices=SCHEDULER_NAMES, default=list(SCHEDULER_NAMES)
     )
     cmp_p.add_argument("--speedup", type=float, default=1.0)
+    cmp_p.add_argument("--nodes", type=int, default=1, help="cluster size")
+    _add_fault_args(cmp_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -131,13 +193,24 @@ def _run_engine(args):
     return engine
 
 
+def _run_one(trace, name, engine, faults, nodes):
+    if nodes > 1 or faults is not None:
+        return run_cluster(trace, name, max(nodes, 1), engine=engine, faults=faults).result
+    return run_trace(trace, name, engine)
+
+
 def _cmd_run(args) -> int:
     trace = Trace.load(args.trace)
     if args.speedup != 1.0:
         trace = trace.rescale(args.speedup)
-    result = run_trace(trace, args.scheduler, _run_engine(args))
+    faults = _fault_config(args)
+    result = _run_one(trace, args.scheduler, _run_engine(args), faults, args.nodes)
     for key, value in result.summary().items():
         print(f"  {key}: {value if isinstance(value, str) else round(value, 4)}")
+    if faults is not None:
+        print("  -- degraded-mode outcomes --")
+        for key, value in result.fault_summary().items():
+            print(f"  {key}: {round(value, 4)}")
     return 0
 
 
@@ -146,19 +219,25 @@ def _cmd_compare(args) -> int:
     if args.speedup != 1.0:
         trace = trace.rescale(args.speedup)
     engine = standard_engine()
+    faults = _fault_config(args)
+    degraded = faults is not None
     rows = []
     for name in args.schedulers:
-        result = run_trace(trace, name, engine)
-        rows.append(
-            (
-                name,
-                result.throughput_qps,
-                result.mean_response_time,
-                result.cache_hit_ratio,
-                result.disk["reads"],
-            )
+        result = _run_one(trace, name, engine, faults, args.nodes)
+        row = (
+            name,
+            result.throughput_qps,
+            result.mean_response_time,
+            result.cache_hit_ratio,
+            result.disk["reads"],
         )
-    print(render_table(["scheduler", "qps", "mean_rt_s", "cache_hit", "reads"], rows))
+        if degraded:
+            row += (result.availability, result.retries, result.failovers, result.timeouts)
+        rows.append(row)
+    headers = ["scheduler", "qps", "mean_rt_s", "cache_hit", "reads"]
+    if degraded:
+        headers += ["avail", "retries", "failovers", "timeouts"]
+    print(render_table(headers, rows))
     return 0
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import EngineConfig, SchedulerConfig
+from repro.config import EngineConfig, FaultConfig, SchedulerConfig
 from repro.engine.results import RunResult
 from repro.engine.runner import make_scheduler
 from repro.engine.simulator import Simulator
@@ -51,13 +51,30 @@ def run_cluster(
     n_nodes: int,
     engine: EngineConfig | None = None,
     config: SchedulerConfig | None = None,
+    faults: FaultConfig | None = None,
+    replication: int | None = None,
 ) -> ClusterResult:
     """Replay ``trace`` on an ``n_nodes`` cluster of ``scheduler_name``
-    instances with Morton-range spatial partitioning."""
+    instances with Morton-range spatial partitioning.
+
+    ``faults`` overrides ``engine.faults``; ``replication`` overrides
+    the fault config's replication factor (each atom gets that many
+    ring-wise owners, the failover targets when its primary is down).
+    """
     engine = engine or EngineConfig()
-    partitioner = MortonRangePartitioner(trace.spec, n_nodes)
+    if faults is not None:
+        engine = engine.with_(faults=faults)
+    if replication is None:
+        replication = engine.faults.replication
+    partitioner = MortonRangePartitioner(trace.spec, n_nodes, replication=replication)
     schedulers = [make_scheduler(scheduler_name, trace, engine, config) for _ in range(n_nodes)]
-    sim = Simulator(trace, schedulers, engine, node_of=partitioner.node_of)
+    sim = Simulator(
+        trace,
+        schedulers,
+        engine,
+        node_of=partitioner.node_of,
+        replicas_of=partitioner.replicas_of,
+    )
     result = sim.run()
     return ClusterResult(
         result=result,

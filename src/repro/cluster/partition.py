@@ -19,16 +19,26 @@ __all__ = ["MortonRangePartitioner"]
 
 @dataclass(frozen=True)
 class MortonRangePartitioner:
-    """Contiguous equal Morton ranges, one per node."""
+    """Contiguous equal Morton ranges, one per node.
+
+    ``replication > 1`` gives every atom backup owners — the next
+    ``replication - 1`` nodes ring-wise after its primary, mirroring
+    chained declustering.  Replicas are failover targets only: routing
+    prefers the primary and falls through :meth:`replicas_of` in order
+    when the primary is down or has lost the atom.
+    """
 
     spec: DatasetSpec
     n_nodes: int
+    replication: int = 1
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
         if self.n_nodes > self.spec.atoms_per_timestep:
             raise ValueError("more nodes than atoms per time step")
+        if not 1 <= self.replication <= self.n_nodes:
+            raise ValueError("replication must be in [1, n_nodes]")
 
     def node_of(self, atom_id: int) -> int:
         """Owning node of a packed atom id.
@@ -39,6 +49,11 @@ class MortonRangePartitioner:
         """
         morton = atom_id % self.spec.atoms_per_timestep
         return ((morton + 1) * self.n_nodes - 1) // self.spec.atoms_per_timestep
+
+    def replicas_of(self, atom_id: int) -> tuple[int, ...]:
+        """Owning nodes in failover preference order (primary first)."""
+        primary = self.node_of(atom_id)
+        return tuple((primary + i) % self.n_nodes for i in range(self.replication))
 
     def atoms_of_node(self, node: int) -> range:
         """Within-step Morton code range owned by ``node``."""

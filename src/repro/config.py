@@ -17,6 +17,7 @@ __all__ = [
     "CacheConfig",
     "MetricConfig",
     "SchedulerConfig",
+    "FaultConfig",
     "EngineConfig",
 ]
 
@@ -174,6 +175,131 @@ class SchedulerConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection and fault-tolerance knobs.
+
+    The production Turbulence cluster (27 TB on RAID-5 across several
+    nodes, Fig. 7) lives with disk errors, degraded arrays, and node
+    outages; this config drives a seeded, deterministic
+    :class:`~repro.engine.faults.FaultInjector` that reproduces those
+    failure modes in the virtual timeline.  The default instance
+    injects nothing and adds zero cost — the engine bypasses the fault
+    path entirely when :attr:`enabled` is False.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the injector's private RNG.  Same seed + same config +
+        same trace ⇒ bit-identical results.
+    transient_fault_rate:
+        Probability that any single disk read attempt fails with a
+        recoverable error (retried with backoff).
+    permanent_loss_rate:
+        Probability, decided once per (node, atom) on first read, that
+        the atom is unrecoverable on that node (sub-queries fail over
+        to a replica, or the query is cancelled if no replica holds it).
+    slow_read_rate / slow_read_factor:
+        Probability that a successful read is degraded (e.g. sector
+        remapping), and the cost multiplier applied when it is.
+    max_retries:
+        Transient-fault retries per read before the read is abandoned
+        and the sub-query re-queued/re-routed.
+    backoff_base / backoff_factor / backoff_jitter:
+        Exponential-backoff schedule for retries, in virtual seconds:
+        delay ``i`` is ``base * factor**(i-1)``, jittered uniformly by
+        ``±jitter`` (fraction).  Charged through the cost model into
+        the batch duration.
+    retry_budget_per_node:
+        Total retries one node may spend over a whole run (``None`` =
+        unbounded).  A node whose budget is exhausted fails reads on
+        the first transient error.
+    circuit_breaker_threshold / degraded_factor:
+        After this many *consecutive* transient faults a node's disk is
+        marked degraded (RAID rebuild mode) and every subsequent read
+        costs ``degraded_factor`` times more.
+    node_crashes:
+        Deterministic crash schedule: ``(node_index, down_time,
+        up_time)`` triples in virtual seconds.  While down a node
+        executes nothing; its pending and in-flight sub-queries fail
+        over to replicas and it rejoins routing at ``up_time``.
+    query_deadline:
+        Seconds a query may remain incomplete after arrival before it
+        is cancelled (sub-queries pruned everywhere, gating groups
+        released, an ordered job's remainder aborted).  ``None``
+        disables deadlines.
+    replication:
+        Atom ownership copies used by cluster routing
+        (:class:`~repro.cluster.partition.MortonRangePartitioner`);
+        ``1`` means no failover targets for lost atoms or down nodes.
+    """
+
+    seed: int = 0
+    transient_fault_rate: float = 0.0
+    permanent_loss_rate: float = 0.0
+    slow_read_rate: float = 0.0
+    slow_read_factor: float = 4.0
+    max_retries: int = 3
+    backoff_base: float = 0.005
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    retry_budget_per_node: Optional[int] = None
+    circuit_breaker_threshold: int = 10
+    degraded_factor: float = 2.0
+    node_crashes: tuple = ()
+    query_deadline: Optional[float] = None
+    replication: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("transient_fault_rate", "permanent_loss_rate", "slow_read_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.slow_read_factor < 1.0 or self.degraded_factor < 1.0:
+            raise ValueError("slow_read_factor and degraded_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base must be >= 0 and backoff_factor >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if self.retry_budget_per_node is not None and self.retry_budget_per_node < 0:
+            raise ValueError("retry_budget_per_node must be >= 0 or None")
+        if self.circuit_breaker_threshold < 1:
+            raise ValueError("circuit_breaker_threshold must be >= 1")
+        if self.query_deadline is not None and self.query_deadline <= 0:
+            raise ValueError("query_deadline must be positive or None")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        # Normalize the crash schedule to a hashable tuple-of-tuples.
+        crashes = tuple(tuple(c) for c in self.node_crashes)
+        for crash in crashes:
+            if len(crash) != 3:
+                raise ValueError("node_crashes entries must be (node, down_time, up_time)")
+            node, down, up = crash
+            if int(node) < 0 or int(node) != node:
+                raise ValueError("crash node index must be a non-negative integer")
+            if not 0 <= down < up:
+                raise ValueError("crash times must satisfy 0 <= down_time < up_time")
+        object.__setattr__(self, "node_crashes", crashes)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault source is configured (the engine skips
+        the entire injection path otherwise)."""
+        return bool(
+            self.transient_fault_rate > 0
+            or self.permanent_loss_rate > 0
+            or self.slow_read_rate > 0
+            or self.node_crashes
+            or self.query_deadline is not None
+        )
+
+    def with_(self, **kwargs) -> "FaultConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Discrete-event engine configuration.
 
@@ -197,6 +323,8 @@ class EngineConfig:
         Safety bound on the virtual clock, seconds; the engine raises
         if exceeded (guards against livelock bugs in scheduler
         development).
+    faults:
+        Fault-injection configuration; the default injects nothing.
     """
 
     cost: CostModel = field(default_factory=CostModel)
@@ -204,6 +332,7 @@ class EngineConfig:
     interpolation_order: int = 12
     run_length: int = 50
     max_sim_time: float = 1e9
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.interpolation_order < 2 or self.interpolation_order % 2:
@@ -212,3 +341,7 @@ class EngineConfig:
             raise ValueError("run_length must be >= 1")
         if self.max_sim_time <= 0:
             raise ValueError("max_sim_time must be positive")
+
+    def with_(self, **kwargs) -> "EngineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -14,6 +14,13 @@ scheduler through this interface:
    pass, or ``None`` when nothing is queued;
 4. ``on_query_complete`` / ``on_run_boundary`` for bookkeeping and
    adaptive control.
+
+Degraded-mode hooks (used only under fault injection): ``evacuate``
+pulls every pending sub-query off a crashing node, ``readmit`` hands
+re-routed sub-queries to a replica node with their original arrival
+times (so workload-queue ages stay honest), and ``cancel_query`` prunes
+a timed-out query's sub-queries and releases its gating partners.  The
+defaults are safe no-ops for schedulers that never run under faults.
 """
 
 from __future__ import annotations
@@ -90,6 +97,41 @@ class Scheduler(ABC):
 
     def on_run_boundary(self, obs: RunObservation) -> None:
         """A run of ``r`` queries completed (adaptive-α hook)."""
+
+    def queue_depth(self) -> int:
+        """Pending sub-queries on this node (queued + internally held);
+        diagnostics for error reports and fault bookkeeping."""
+        return 0
+
+    def evacuate(self, now: float) -> list[tuple[float, "SubQuery"]]:
+        """Remove and return all pending work as ``(arrival_time,
+        sub-query)`` pairs (node failover).  Default: nothing to move."""
+        return []
+
+    def readmit(self, entries: list[tuple[float, "SubQuery"]], now: float) -> None:
+        """Accept sub-queries evacuated or failed over from another
+        node.  ``entries`` are ``(original_arrival, sub-query)`` pairs;
+        implementations must preserve those ages where they track age.
+
+        The default funnels them through ``on_query_arrival`` grouped
+        by query, using each group's oldest arrival as its time.
+        """
+        by_query: dict[int, tuple[Query, float, list[SubQuery]]] = {}
+        for arrival, sq in entries:
+            qid = sq.query.query_id
+            if qid in by_query:
+                query, oldest, subs = by_query[qid]
+                by_query[qid] = (query, min(oldest, arrival), subs + [sq])
+            else:
+                by_query[qid] = (sq.query, arrival, [sq])
+        for query, oldest, subs in by_query.values():
+            self.on_query_arrival(query, subs, oldest)
+
+    def cancel_query(self, query_id: int, now: float) -> int:
+        """Drop every pending sub-query of a cancelled (timed-out or
+        data-lost) query and release any gating state referencing it.
+        Returns the number of sub-queries removed."""
+        return 0
 
     def force_release(self, now: float) -> bool:
         """Liveness valve: release any internally held queries.

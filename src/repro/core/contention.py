@@ -113,6 +113,38 @@ class ContentionSchedulerBase(Scheduler):
     def has_pending(self) -> bool:
         return len(self.queues) > 0
 
+    def queue_depth(self) -> int:
+        return sum(len(subs) for subs in self.queues.iter_subquery_lists())
+
+    # ------------------------------------------------------------------
+    # Degraded-mode hooks (node failover, query cancellation)
+    # ------------------------------------------------------------------
+    def evacuate(self, now: float) -> list[tuple[float, SubQuery]]:
+        """Pull every queued sub-query, tagged with its atom's oldest
+        arrival (the best per-sub-query age the queues retain)."""
+        entries: list[tuple[float, SubQuery]] = []
+        ids, _, oldest, _ = self.queues.active_view()
+        for atom_id, age in zip(ids, oldest):
+            for sq in self.queues.pop_atom(int(atom_id)):
+                entries.append((float(age), sq))
+        if entries:
+            self._invalidate_utilities()
+        return entries
+
+    def readmit(self, entries: list[tuple[float, SubQuery]], now: float) -> None:
+        """Re-admit failed-over sub-queries, oldest first so a fresh
+        slot's age is set by its oldest member."""
+        for arrival, sq in sorted(entries, key=lambda e: e[0]):
+            self.queues.add(sq, arrival)
+        if entries:
+            self._invalidate_utilities()
+
+    def cancel_query(self, query_id: int, now: float) -> int:
+        removed = self.queues.remove_query(query_id)
+        if removed:
+            self._invalidate_utilities()
+        return removed
+
     @property
     def current_alpha(self) -> float:
         return self._alpha

@@ -56,8 +56,9 @@ class JAWSScheduler(ContentionSchedulerBase):
             AdaptiveAlphaController(alpha=config.alpha) if config.adaptive_alpha else None
         )
         self._gating = GatingManager() if config.job_aware else None
-        # READY queries held back by gating: query_id -> (query, subqueries).
-        self._held: dict[int, tuple[Query, list[SubQuery]]] = {}
+        # READY queries held back by gating:
+        # query_id -> (query, subqueries, arrival_time).
+        self._held: dict[int, tuple[Query, list[SubQuery], float]] = {}
         # Completed-query counts since each held query went READY (lag valve).
         self._held_lag: dict[int, int] = {}
         self.gating_overhead_ns = 0
@@ -79,7 +80,7 @@ class JAWSScheduler(ContentionSchedulerBase):
             self._enqueue(subqueries, now)
             return
         t0 = time.perf_counter_ns()
-        self._held[query.query_id] = (query, subqueries)
+        self._held[query.query_id] = (query, subqueries, now)
         released = self._gating.on_arrival(query.query_id)
         self.gating_overhead_ns += time.perf_counter_ns() - t0
         if released is None:
@@ -129,6 +130,52 @@ class JAWSScheduler(ContentionSchedulerBase):
 
     def has_pending(self) -> bool:
         return super().has_pending() or bool(self._held)
+
+    def queue_depth(self) -> int:
+        held = sum(len(entry[1]) for entry in self._held.values())
+        return super().queue_depth() + held
+
+    # ------------------------------------------------------------------
+    # Degraded-mode hooks (node failover, query cancellation)
+    # ------------------------------------------------------------------
+    def evacuate(self, now: float) -> list[tuple[float, SubQuery]]:
+        """Queued work plus the sub-queries of gating-held queries.
+
+        Held entries stay in place (emptied) so the gating graph keeps
+        advancing symmetrically across nodes; only their local work
+        moves to a replica.
+        """
+        entries = super().evacuate(now)
+        for qid, (query, subs, arrival) in list(self._held.items()):
+            if subs:
+                entries.extend((arrival, sq) for sq in subs)
+                self._held[qid] = (query, [], arrival)
+        return entries
+
+    def readmit(self, entries: list[tuple[float, SubQuery]], now: float) -> None:
+        """Failed-over sub-queries of a query this node still holds in
+        READY join its held entry (released with its gating group);
+        everything else enters the workload queues directly."""
+        passthrough: list[tuple[float, SubQuery]] = []
+        for arrival, sq in entries:
+            held = self._held.get(sq.query.query_id)
+            if held is not None:
+                held[1].append(sq)
+            else:
+                passthrough.append((arrival, sq))
+        super().readmit(passthrough, now)
+
+    def cancel_query(self, query_id: int, now: float) -> int:
+        removed = super().cancel_query(query_id, now)
+        entry = self._held.pop(query_id, None)
+        self._held_lag.pop(query_id, None)
+        if entry is not None:
+            removed += len(entry[1])
+        if self._gating is not None:
+            released = self._gating.cancel(query_id)
+            if released:
+                self._release(released, now)
+        return removed
 
     def force_release(self, now: float) -> bool:
         """Release every gated hold (engine liveness valve)."""

@@ -162,6 +162,33 @@ class GatingManager:
             self._tracked.discard(query_id)
             self.graph.mark_done(query_id)
 
+    def cancel(self, query_id: int) -> list[int]:
+        """De-gate a cancelled query (timeout or aborted job).
+
+        Prunes it from the graph exactly like completion, then checks
+        whether its former co-scheduling group became releasable — the
+        cancelled query may have been the WAIT member partners were
+        gated on.  Returns the query ids to release to QUEUE now.
+        """
+        if query_id not in self._tracked:
+            return []
+        self._tracked.discard(query_id)
+        if query_id not in self.graph:
+            return []
+        partners = self.graph.partners(query_id)
+        self.graph.mark_done(query_id)
+        for member in partners:
+            if member not in self.graph:
+                continue
+            # All partners share one group: one check covers them all.
+            ready = self.graph.releasable_group(member)
+            if ready is None:
+                return []
+            for qid in ready:
+                self.graph.set_state(qid, QueryState.QUEUE)
+            return ready
+        return []
+
     def held_queries(self) -> list[int]:
         """Queries currently held in READY (awaiting partners)."""
         return self.graph.ready_queries()

@@ -40,13 +40,13 @@ class NoShareScheduler(Scheduler):
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1 or None")
         self._max_concurrent = max_concurrent
-        self._admission: deque[tuple[Query, deque[SubQuery]]] = deque()
-        self._active: deque[tuple[Query, deque[SubQuery]]] = deque()
+        self._admission: deque[tuple[Query, deque[SubQuery], float]] = deque()
+        self._active: deque[tuple[Query, deque[SubQuery], float]] = deque()
 
     def on_query_arrival(self, query: Query, subqueries: list[SubQuery], now: float) -> None:
         if not subqueries:
             return  # multi-node broadcast: no local work for this query
-        entry = (query, deque(subqueries))
+        entry = (query, deque(subqueries), now)
         if self._max_concurrent is not None and len(self._active) >= self._max_concurrent:
             self._admission.append(entry)
         else:
@@ -62,13 +62,48 @@ class NoShareScheduler(Scheduler):
         self._admit()
         if not self._active:
             return None
-        query, subs = self._active.popleft()
+        query, subs, arrival = self._active.popleft()
         subquery = subs.popleft()
         if subs:
-            self._active.append((query, subs))  # round-robin rotation
+            self._active.append((query, subs, arrival))  # round-robin rotation
         else:
             self._admit()
         return Batch(atoms=[(subquery.atom_id, [subquery])])
 
     def has_pending(self) -> bool:
         return bool(self._active) or bool(self._admission)
+
+    def queue_depth(self) -> int:
+        return sum(len(subs) for _, subs, _ in self._active) + sum(
+            len(subs) for _, subs, _ in self._admission
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded-mode hooks (node failover, query cancellation)
+    # ------------------------------------------------------------------
+    def evacuate(self, now: float) -> list[tuple[float, SubQuery]]:
+        entries = [
+            (arrival, sq)
+            for queue in (self._active, self._admission)
+            for _, subs, arrival in queue
+            for sq in subs
+        ]
+        self._active.clear()
+        self._admission.clear()
+        return entries
+
+    # readmit: the base implementation regroups by query and re-enters
+    # through on_query_arrival, which is exactly NoShare admission.
+
+    def cancel_query(self, query_id: int, now: float) -> int:
+        removed = 0
+        for queue in (self._active, self._admission):
+            kept = []
+            for query, subs, arrival in queue:
+                if query.query_id == query_id:
+                    removed += len(subs)
+                else:
+                    kept.append((query, subs, arrival))
+            queue.clear()
+            queue.extend(kept)
+        return removed

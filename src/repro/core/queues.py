@@ -73,8 +73,15 @@ class WorkloadQueues:
     # Mutation
     # ------------------------------------------------------------------
     def add(self, subquery: SubQuery, now: float) -> None:
-        """Append a sub-query to its atom's workload queue."""
+        """Append a sub-query to its atom's workload queue.
+
+        ``now`` is the sub-query's arrival time; re-admitted sub-queries
+        (node failover) pass their *original* arrival, which may predate
+        the slot's current oldest and then takes over the atom's age.
+        """
         slot = self._slot_for(subquery.atom_id, now)
+        if now < self._oldest[slot]:
+            self._oldest[slot] = now
         self._counts[slot] += subquery.n_positions
         self._subqueries[slot].append(subquery)
         self.total_positions += subquery.n_positions
@@ -90,6 +97,37 @@ class WorkloadQueues:
         self._counts[slot] = 0
         self._free.append(slot)
         return subs
+
+    def _free_slot(self, atom_id: int, slot: int) -> None:
+        self._slot_of.pop(atom_id, None)
+        self._subqueries[slot] = []
+        self._atom_ids[slot] = -1
+        self._counts[slot] = 0
+        self._free.append(slot)
+
+    def remove_query(self, query_id: int) -> int:
+        """Drop every pending sub-query of ``query_id`` (cancellation).
+
+        Atoms whose queues empty free their slots; other atoms keep
+        their oldest-arrival age (conservatively — the removed
+        sub-query may have been the oldest, but per-sub-query arrival
+        times are not stored).  Returns the number removed.
+        """
+        removed = 0
+        for atom_id, slot in list(self._slot_of.items()):
+            subs = self._subqueries[slot]
+            kept = [sq for sq in subs if sq.query.query_id != query_id]
+            if len(kept) == len(subs):
+                continue
+            dropped = sum(sq.n_positions for sq in subs if sq.query.query_id == query_id)
+            removed += len(subs) - len(kept)
+            self.total_positions -= dropped
+            if kept:
+                self._subqueries[slot] = kept
+                self._counts[slot] -= dropped
+            else:
+                self._free_slot(atom_id, slot)
+        return removed
 
     # -- cache residency listeners ------------------------------------------
     def on_cache_insert(self, atom_id: int) -> None:
@@ -134,6 +172,11 @@ class WorkloadQueues:
             self._oldest[slots],
             self._cached[slots],
         )
+
+    def iter_subquery_lists(self):
+        """Yield each active atom's pending sub-query list (read-only)."""
+        for slot in self._slot_of.values():
+            yield self._subqueries[slot]
 
     def positions_pending(self, atom_id: int) -> int:
         """Total queued positions against one atom (0 when idle)."""

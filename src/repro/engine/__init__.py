@@ -8,6 +8,7 @@ simulated storage stack.  All figures and tables are produced by
 
 from repro.engine.events import EventKind
 from repro.engine.executor import BatchExecutor
+from repro.engine.faults import FaultInjector, FaultKind, FaultStats
 from repro.engine.results import RunResult
 from repro.engine.runner import make_scheduler, run_trace
 from repro.engine.simulator import Simulator
@@ -15,6 +16,9 @@ from repro.engine.simulator import Simulator
 __all__ = [
     "EventKind",
     "BatchExecutor",
+    "FaultInjector",
+    "FaultKind",
+    "FaultStats",
     "RunResult",
     "Simulator",
     "run_trace",

@@ -11,13 +11,21 @@ __all__ = ["EventKind", "Event"]
 
 class EventKind(enum.IntEnum):
     """Event types, ordered by dispatch priority at equal timestamps:
-    job submissions must precede their own query arrivals, and batch
-    completions at time t free the executor before new work at t is
-    considered."""
+    batch completions at time t free the executor (and count their
+    completions) before anything else at t; a recovering node rejoins
+    before a crashing one leaves so back-to-back schedules hand off
+    cleanly; job submissions must precede their own query arrivals;
+    re-routed sub-queries land before deadlines are checked; and
+    deadlines fire last, so a query completing exactly at its deadline
+    counts as completed."""
 
     BATCH_DONE = 0
-    JOB_SUBMIT = 1
-    QUERY_ARRIVAL = 2
+    NODE_UP = 1
+    NODE_DOWN = 2
+    JOB_SUBMIT = 3
+    QUERY_ARRIVAL = 4
+    REROUTE = 5
+    QUERY_DEADLINE = 6
 
 
 @dataclass(order=True)

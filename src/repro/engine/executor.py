@@ -8,20 +8,33 @@ mediated too — this is where co-scheduling ``k`` nearby atoms pays
 off, since one sub-query's neighbor is another's primary); and charge
 :math:`T_m` per evaluated position.  The returned duration advances
 the virtual clock.
+
+With a :class:`~repro.engine.faults.FaultInjector` attached, primary
+atom reads can fail: transient errors are retried with exponential
+backoff (delays charged into the batch duration, in virtual time) up
+to the configured retry limits; reads of permanently lost atoms — and
+reads whose retries are exhausted — fail the atom, whose sub-queries
+are returned to the engine for re-queueing or replica failover.
+Neighbor (stencil halo) reads are not fault-injected: the production
+cluster replicates boundary data precisely so interpolation never
+blocks (§III-A), so halo copies are treated as always readable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.config import CostModel
 from repro.core.base import Batch
+from repro.engine.faults import FaultInjector, FaultKind
 from repro.grid.dataset import DatasetSpec
 from repro.grid.interpolation import InterpolationSpec
 from repro.storage.buffer import BufferCache
 from repro.storage.disk import DiskModel
+from repro.workload.query import SubQuery
 
-__all__ = ["ExecStats", "BatchExecutor"]
+__all__ = ["ExecStats", "BatchOutcome", "BatchExecutor"]
 
 
 @dataclass
@@ -33,6 +46,30 @@ class ExecStats:
     neighbor_reads: int = 0
     positions: int = 0
     busy_seconds: float = 0.0
+    failed_atoms: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "batches": self.batches,
+            "atoms_executed": self.atoms_executed,
+            "neighbor_reads": self.neighbor_reads,
+            "positions": self.positions,
+            "busy_seconds": self.busy_seconds,
+            "failed_atoms": self.failed_atoms,
+        }
+
+
+@dataclass
+class BatchOutcome:
+    """Result of executing one batch.
+
+    ``duration`` advances the virtual clock; ``failed`` holds the
+    sub-queries of atoms whose disk reads could not be completed (the
+    engine re-queues or fails them over to replicas).
+    """
+
+    duration: float
+    failed: list[SubQuery] = field(default_factory=list)
 
 
 class BatchExecutor:
@@ -45,21 +82,63 @@ class BatchExecutor:
         cache: BufferCache,
         disk: DiskModel,
         interp: InterpolationSpec,
+        injector: Optional[FaultInjector] = None,
+        node_idx: int = 0,
     ) -> None:
         self.spec = spec
         self.cost = cost
         self.cache = cache
         self.disk = disk
         self.interp = interp
+        self.injector = injector
+        self.node_idx = node_idx
         self.stats = ExecStats()
 
-    def execute(self, batch: Batch, now: float) -> float:
+    # ------------------------------------------------------------------
+    def _charge_read(self, atom_id: int) -> tuple[float, bool]:
+        """One fault-aware primary read: ``(seconds consumed, ok)``.
+
+        Transient faults charge the failed attempt plus a backoff delay
+        and retry; a lost atom or exhausted retries abandon the read.
+        """
+        inj = self.injector
+        if inj is None:
+            return self.disk.read_atom(atom_id), True
+        seconds = 0.0
+        attempt = 0
+        while True:
+            kind = inj.draw_outcome(self.node_idx, atom_id)
+            if kind is FaultKind.LOST:
+                seconds += self.disk.failed_read(atom_id)
+                return seconds, False
+            if kind is FaultKind.OK:
+                seconds += self.disk.read_atom(atom_id, cost_factor=inj.slow_factor(self.node_idx))
+                inj.on_read_ok(self.node_idx)
+                return seconds, True
+            # Transient fault: pay for the failed attempt, maybe retry.
+            seconds += self.disk.failed_read(atom_id)
+            inj.on_transient(self.node_idx, self.disk)
+            attempt += 1
+            if not inj.grant_retry(self.node_idx, attempt):
+                return seconds, False
+            seconds += inj.backoff(attempt)
+
+    def execute(self, batch: Batch, now: float) -> BatchOutcome:
         """Run a batch starting at ``now``; returns its duration in
-        simulated seconds."""
+        simulated seconds plus any sub-queries that failed."""
         duration = self.cost.t_overhead
+        failed: list[SubQuery] = []
         for atom_id, subqueries in batch.atoms:
             if not self.cache.access(atom_id, now):
-                duration += self.disk.read_atom(atom_id)
+                seconds, ok = self._charge_read(atom_id)
+                duration += seconds
+                if not ok:
+                    # The atom never materialized: undo the cache insert
+                    # and hand its sub-queries back to the engine.
+                    self.cache.drop([atom_id])
+                    self.stats.failed_atoms += 1
+                    failed.extend(subqueries)
+                    continue
             self.stats.atoms_executed += 1
             for sq in subqueries:
                 for required in sq.neighbor_atoms(self.spec, self.interp):
@@ -70,4 +149,4 @@ class BatchExecutor:
                 self.stats.positions += sq.n_positions
         self.stats.batches += 1
         self.stats.busy_seconds += duration
-        return duration
+        return BatchOutcome(duration, failed)

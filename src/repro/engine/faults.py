@@ -1,0 +1,173 @@
+"""Seeded, deterministic fault injection for the simulated cluster.
+
+One :class:`FaultInjector` per :class:`~repro.engine.simulator.Simulator`
+owns a private RNG and every piece of mutable fault state: which atoms
+have been permanently lost on which node, per-node consecutive-failure
+counters (the circuit breaker), per-node retry budgets, and the
+accumulated :class:`FaultStats`.
+
+Determinism: all randomness flows through the injector's single
+``random.Random(seed)`` stream, and the discrete-event engine calls the
+injector in a deterministic order (heap order with sequence-number tie
+breaks).  Same seed + same :class:`~repro.config.FaultConfig` + same
+trace therefore reproduce bit-identical fault schedules and results —
+the property the determinism tests in ``tests/test_faults.py`` assert.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import FaultConfig
+from repro.storage.disk import DiskModel
+
+__all__ = ["FaultKind", "FaultStats", "FaultInjector"]
+
+
+class FaultKind(enum.Enum):
+    """Outcome of one disk read attempt."""
+
+    OK = "ok"
+    TRANSIENT = "transient"
+    LOST = "lost"
+
+
+@dataclass
+class FaultStats:
+    """Counters accumulated by one injector over a simulation."""
+
+    transient_faults: int = 0
+    permanent_losses: int = 0
+    slow_reads: int = 0
+    retries: int = 0
+    retries_exhausted: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "transient_faults": self.transient_faults,
+            "permanent_losses": self.permanent_losses,
+            "slow_reads": self.slow_reads,
+            "retries": self.retries,
+            "retries_exhausted": self.retries_exhausted,
+        }
+
+
+class FaultInjector:
+    """Draws fault outcomes and tracks degraded-mode state.
+
+    Parameters
+    ----------
+    config:
+        The fault knobs (rates, backoff schedule, breaker threshold).
+    n_nodes:
+        Cluster size; per-node state (budgets, breakers) is indexed by
+        node.
+    """
+
+    def __init__(self, config: FaultConfig, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._loss_decided: set[tuple[int, int]] = set()
+        self._lost: set[tuple[int, int]] = set()
+        self._consecutive = [0] * n_nodes
+        self._retry_budget: list[Optional[int]] = [config.retry_budget_per_node] * n_nodes
+        self.degraded = [False] * n_nodes
+        self.stats = FaultStats()
+
+    # ------------------------------------------------------------------
+    # Read outcomes
+    # ------------------------------------------------------------------
+    def is_lost(self, node: int, atom_id: int) -> bool:
+        """Has this node already discovered the atom unrecoverable?"""
+        return (node, atom_id) in self._lost
+
+    def draw_outcome(self, node: int, atom_id: int) -> FaultKind:
+        """Decide the fate of one read attempt of ``atom_id`` on ``node``.
+
+        Permanent loss is decided exactly once per (node, atom) — a
+        lost atom stays lost; an atom that survived its first read can
+        still fail transiently on any later attempt.
+        """
+        cfg = self.config
+        key = (node, atom_id)
+        if key in self._lost:
+            return FaultKind.LOST
+        if cfg.permanent_loss_rate > 0 and key not in self._loss_decided:
+            self._loss_decided.add(key)
+            if self._rng.random() < cfg.permanent_loss_rate:
+                self._lost.add(key)
+                self.stats.permanent_losses += 1
+                return FaultKind.LOST
+        if cfg.transient_fault_rate > 0 and self._rng.random() < cfg.transient_fault_rate:
+            return FaultKind.TRANSIENT
+        return FaultKind.OK
+
+    def slow_factor(self, node: int) -> float:
+        """Cost multiplier for one successful read (slow-disk fault)."""
+        cfg = self.config
+        if cfg.slow_read_rate > 0 and self._rng.random() < cfg.slow_read_rate:
+            self.stats.slow_reads += 1
+            return cfg.slow_read_factor
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # Circuit breaker + retry policy
+    # ------------------------------------------------------------------
+    def on_read_ok(self, node: int) -> None:
+        """A read succeeded: the node's consecutive-failure streak ends."""
+        self._consecutive[node] = 0
+
+    def on_transient(self, node: int, disk: DiskModel) -> None:
+        """Record a transient fault; trip the breaker at the threshold.
+
+        Once tripped, the node's disk is marked degraded (modeling a
+        RAID array in rebuild mode) and every later read on it is
+        charged ``degraded_factor`` times the normal cost.
+        """
+        self.stats.transient_faults += 1
+        self._consecutive[node] += 1
+        threshold = self.config.circuit_breaker_threshold
+        if not self.degraded[node] and self._consecutive[node] >= threshold:
+            self.degraded[node] = True
+            disk.degrade(self.config.degraded_factor)
+
+    def grant_retry(self, node: int, attempt: int) -> bool:
+        """May read attempt ``attempt`` (1-based failures so far) retry?
+
+        Denied when the per-read ``max_retries`` or the node's total
+        retry budget is exhausted; a denial abandons the read and the
+        caller re-queues or re-routes the affected sub-queries.
+        """
+        if attempt > self.config.max_retries:
+            self.stats.retries_exhausted += 1
+            return False
+        budget = self._retry_budget[node]
+        if budget is not None:
+            if budget <= 0:
+                self.stats.retries_exhausted += 1
+                return False
+            self._retry_budget[node] = budget - 1
+        self.stats.retries += 1
+        return True
+
+    def backoff(self, attempt: int) -> float:
+        """Virtual-time delay before retry ``attempt`` (1-based), with
+        exponential growth and uniform jitter."""
+        cfg = self.config
+        delay = cfg.backoff_base * (cfg.backoff_factor ** (attempt - 1))
+        if cfg.backoff_jitter > 0:
+            delay *= 1.0 + cfg.backoff_jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Stats plus degraded-node and loss summaries for RunResult."""
+        out = self.stats.snapshot()
+        out["degraded_nodes"] = sum(self.degraded)
+        out["lost_atom_copies"] = len(self._lost)
+        return out

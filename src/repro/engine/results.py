@@ -38,6 +38,14 @@ class RunResult:
         Gated queries released by the liveness valve (should be 0).
     gating_overhead_ns / cache_overhead_ns:
         Measured wall-clock bookkeeping cost (Table I's overhead).
+    alpha_histories:
+        Per-node α traces for adaptive schedulers (``alpha_history`` is
+        the first node's, preserving the single-node shape).
+    timeouts / retries / failovers / aborted_jobs / cancelled_queries:
+        Degraded-mode counters — all zero when fault injection is off.
+    faults:
+        Raw fault-injector snapshot plus engine-side fault accounting
+        (empty dict when fault injection is off).
     """
 
     scheduler_name: str
@@ -48,12 +56,19 @@ class RunResult:
     job_durations: dict[int, float]
     runs: list[RunObservation] = field(default_factory=list)
     alpha_history: list[float] = field(default_factory=list)
+    alpha_histories: list[list[float]] = field(default_factory=list)
     cache: dict = field(default_factory=dict)
     disk: dict = field(default_factory=dict)
     exec: dict = field(default_factory=dict)
     forced_releases: int = 0
     gating_overhead_ns: int = 0
     cache_overhead_ns: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    failovers: int = 0
+    aborted_jobs: int = 0
+    cancelled_queries: int = 0
+    faults: dict = field(default_factory=dict)
 
     # -- headline numbers ---------------------------------------------------
     @property
@@ -87,6 +102,13 @@ class RunResult:
         return busy / self.n_queries if self.n_queries else 0.0
 
     @property
+    def availability(self) -> float:
+        """Fraction of arrived queries that completed (1.0 = no
+        cancellations; the acceptance bar for degraded-mode runs)."""
+        arrived = self.n_queries + self.cancelled_queries
+        return self.n_queries / arrived if arrived else 1.0
+
+    @property
     def cache_overhead_ms_per_query(self) -> float:
         """Measured cache-policy bookkeeping per query, milliseconds."""
         return self.cache_overhead_ns / 1e6 / self.n_queries if self.n_queries else 0.0
@@ -103,4 +125,15 @@ class RunResult:
             "cache_hit": self.cache_hit_ratio,
             "sec_per_qry": self.seconds_per_query,
             "makespan": self.makespan,
+        }
+
+    def fault_summary(self) -> dict[str, float]:
+        """Flat dict of degraded-mode outcomes (for the CLI fault block)."""
+        return {
+            "availability": self.availability,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "aborted_jobs": self.aborted_jobs,
+            "cancelled_queries": self.cancelled_queries,
         }

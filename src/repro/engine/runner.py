@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.config import EngineConfig, SchedulerConfig
+from repro.config import EngineConfig, FaultConfig, SchedulerConfig
 from repro.core.base import Scheduler
 from repro.core.jaws import JAWSScheduler
 from repro.core.liferaft import LifeRaftScheduler
@@ -67,10 +67,17 @@ def run_trace(
     scheduler: Scheduler | str,
     engine: Optional[EngineConfig] = None,
     config: Optional[SchedulerConfig] = None,
+    faults: Optional[FaultConfig] = None,
 ) -> RunResult:
     """Replay ``trace`` under ``scheduler`` (an instance or a factory
-    name) on a single node and return the results."""
+    name) on a single node and return the results.
+
+    ``faults`` overrides ``engine.faults`` — a convenience so callers
+    can inject faults without rebuilding the whole engine config.
+    """
     engine = engine or EngineConfig()
+    if faults is not None:
+        engine = engine.with_(faults=faults)
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler, trace, engine, config)
     return Simulator(trace, [scheduler], engine).run()

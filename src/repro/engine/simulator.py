@@ -21,6 +21,19 @@ Lifecycle of a query (paper Fig. 1 + §IV-B):
 
 Runs of ``run_length`` completions trigger the adaptive-α and SLRU
 run-boundary hooks.
+
+Degraded-mode operation (``EngineConfig.faults``): a seeded
+:class:`~repro.engine.faults.FaultInjector` makes disk reads fail
+(retried with backoff inside the executor), atoms permanently lost on
+a node (their sub-queries fail over to replicas), and nodes crash and
+recover on a configured schedule.  A crashing node's in-flight batch is
+aborted and all its pending sub-queries are evacuated to replicas with
+their original arrival times; while down it receives no new work but
+still hears arrival/completion broadcasts so its gating graph stays in
+sync, and on recovery it rejoins routing.  Per-query deadlines cancel
+overdue queries everywhere — workload queues pruned, gating groups
+released, the remainder of an ordered job aborted — and every fault
+outcome is surfaced in :class:`~repro.engine.results.RunResult`.
 """
 
 from __future__ import annotations
@@ -36,13 +49,15 @@ from repro.core.base import Batch, RunObservation, Scheduler
 from repro.core.contention import ContentionSchedulerBase
 from repro.engine.events import Event, EventKind
 from repro.engine.executor import BatchExecutor
+from repro.engine.faults import FaultInjector
 from repro.engine.results import RunResult
+from repro.errors import LivelockError, SimTimeExceededError, SimulationError
 from repro.grid.atoms import AtomMapper
 from repro.grid.interpolation import InterpolationSpec
 from repro.storage.buffer import BufferCache
 from repro.storage.disk import DiskModel
 from repro.workload.job import Job
-from repro.workload.query import Query, preprocess_query
+from repro.workload.query import Query, SubQuery, preprocess_query
 from repro.workload.trace import Trace
 
 __all__ = ["Simulator", "build_policy"]
@@ -64,7 +79,14 @@ def build_policy(config: CacheConfig):
 class _Node:
     """One cluster node: scheduler + cache + disk + executor."""
 
-    def __init__(self, scheduler: Scheduler, spec, config: EngineConfig) -> None:
+    def __init__(
+        self,
+        idx: int,
+        scheduler: Scheduler,
+        spec,
+        config: EngineConfig,
+        injector: Optional[FaultInjector],
+    ) -> None:
         self.scheduler = scheduler
         self.cache = BufferCache(config.cache.capacity_atoms, build_policy(config.cache))
         self.disk = DiskModel(config.cost, spec.n_atoms)
@@ -74,8 +96,15 @@ class _Node:
             self.cache,
             self.disk,
             InterpolationSpec(order=config.interpolation_order),
+            injector=injector,
+            node_idx=idx,
         )
         self.busy = False
+        self.up = True
+        # Crash generation: BATCH_DONE events from before a crash carry
+        # a stale epoch and are dropped (their work was re-routed).
+        self.epoch = 0
+        self.inflight: Optional[Batch] = None
         if isinstance(scheduler, ContentionSchedulerBase):
             scheduler.bind_cache(self.cache)
 
@@ -91,10 +120,14 @@ class Simulator:
         One scheduler instance per node (fresh — schedulers are
         stateful and single-use).
     config:
-        Engine configuration.
+        Engine configuration (including ``config.faults``).
     node_of:
         Maps a packed atom id to its owning node index; defaults to a
         single node.  Must be consistent with ``len(schedulers)``.
+    replicas_of:
+        Maps a packed atom id to its owning nodes in failover
+        preference order (primary first).  Defaults to the primary
+        only, i.e. no failover targets.
     """
 
     def __init__(
@@ -103,6 +136,7 @@ class Simulator:
         schedulers: Sequence[Scheduler],
         config: Optional[EngineConfig] = None,
         node_of: Optional[Callable[[int], int]] = None,
+        replicas_of: Optional[Callable[[int], Sequence[int]]] = None,
     ) -> None:
         if not schedulers:
             raise ValueError("need at least one scheduler")
@@ -110,8 +144,14 @@ class Simulator:
         self.config = config or EngineConfig()
         self.spec = trace.spec
         self.mapper = AtomMapper(self.spec)
-        self.nodes = [_Node(s, self.spec, self.config) for s in schedulers]
+        faults = self.config.faults
+        self.injector = FaultInjector(faults, len(schedulers)) if faults.enabled else None
+        self.nodes = [
+            _Node(i, s, self.spec, self.config, self.injector)
+            for i, s in enumerate(schedulers)
+        ]
         self._node_of = node_of or (lambda atom_id: 0)
+        self._replicas_of = replicas_of or (lambda atom_id: (self._node_of(atom_id),))
 
         self._heap: list[Event] = []
         self._seq = 0
@@ -121,9 +161,12 @@ class Simulator:
         # Query bookkeeping.
         self._arrival: dict[int, float] = {}
         self._remaining: dict[int, int] = {}
+        self._live_query: dict[int, Query] = {}
         self._job_of: dict[int, Job] = {}
         self._job_left: dict[int, int] = {}
         self._job_first_arrival: dict[int, float] = {}
+        # Jobs with a cancelled/aborted query never record a duration.
+        self._impaired_jobs: set[int] = set()
 
         # Results accumulation.
         self._response_times: list[float] = []
@@ -134,14 +177,98 @@ class Simulator:
         self._run_responses: list[float] = []
         self.forced_releases = 0
 
+        # Fault accounting.
+        self._timeouts = 0
+        self._failovers = 0
+        self._requeues = 0
+        self._data_loss_cancels = 0
+        self._cancelled = 0
+        self._aborted_jobs = 0
+        self._aborted_unarrived = 0
+        self._node_downs = 0
+        self._deferred = 0
+
         self._job_index = {job.job_id: job for job in trace.jobs}
         for job in trace.jobs:
             self._push(job.submit_time, EventKind.JOB_SUBMIT, job)
+        for node_idx, down_t, up_t in faults.node_crashes:
+            if not 0 <= int(node_idx) < len(self.nodes):
+                raise ValueError(
+                    f"crash schedule names node {node_idx} but the cluster has "
+                    f"{len(self.nodes)} nodes"
+                )
+            self._push(down_t, EventKind.NODE_DOWN, int(node_idx))
+            self._push(up_t, EventKind.NODE_UP, int(node_idx))
+        self._recovery_times = sorted(up_t for _, _, up_t in faults.node_crashes)
 
     # ------------------------------------------------------------------
     def _push(self, time_: float, kind: EventKind, payload) -> None:
         heapq.heappush(self._heap, Event(time_, kind, self._seq, payload))
         self._seq += 1
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route(self, atom_id: int) -> tuple[Optional[int], bool]:
+        """Pick the node to serve ``atom_id``: the first owner (primary,
+        then replicas) that is up and has not lost the atom.
+
+        Returns ``(node_index, lost_everywhere)`` — ``(None, True)``
+        when every owner has discovered the atom unrecoverable (data
+        loss), ``(None, False)`` when owners survive but all are down
+        (defer until a recovery).
+        """
+        candidates = self._replicas_of(atom_id)
+        lost_everywhere = True
+        for idx in candidates:
+            if self.injector is not None and self.injector.is_lost(idx, atom_id):
+                continue
+            lost_everywhere = False
+            if self.nodes[idx].up:
+                return idx, False
+        return None, lost_everywhere
+
+    def _next_recovery_after(self, now: float) -> Optional[float]:
+        for t in self._recovery_times:
+            if t > now:
+                return t
+        return None
+
+    def _reroute(self, sq: SubQuery, arrival: float, now: float, from_node: Optional[int]) -> None:
+        """Find a new home for a sub-query whose node failed it (crash,
+        lost atom, or exhausted retries)."""
+        qid = sq.query.query_id
+        if qid not in self._remaining:
+            return  # query already completed or cancelled
+        target, lost_everywhere = self._route(sq.atom_id)
+        if target is None:
+            if lost_everywhere:
+                self._cancel_query(qid, now, reason="data_loss")
+            else:
+                self._defer(sq, arrival, now)
+            return
+        if from_node is not None and target == from_node:
+            # Same (still healthy) node: a fresh attempt later, not a
+            # failover — e.g. retries exhausted with no replica.
+            self._requeues += 1
+        else:
+            self._failovers += 1
+        self.nodes[target].scheduler.readmit([(arrival, sq)], now)
+
+    def _defer(self, sq: SubQuery, arrival: float, now: float) -> None:
+        """Every owner of the atom is down: park the sub-query until
+        the next scheduled recovery."""
+        next_up = self._next_recovery_after(now)
+        if next_up is None:
+            raise SimulationError(
+                "no node can serve a sub-query and no recovery is scheduled",
+                clock=now,
+                pending_queries=sorted(self._remaining),
+                queue_depths=[n.scheduler.queue_depth() for n in self.nodes],
+                busy_flags=[n.busy for n in self.nodes],
+            )
+        self._deferred += 1
+        self._push(next_up, EventKind.REROUTE, (sq, arrival))
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -151,8 +278,17 @@ class Simulator:
             self._on_job_submit(ev.payload, ev.time)
         elif ev.kind is EventKind.QUERY_ARRIVAL:
             self._on_query_arrival(ev.payload, ev.time)
-        else:
+        elif ev.kind is EventKind.BATCH_DONE:
             self._on_batch_done(*ev.payload, now=ev.time)
+        elif ev.kind is EventKind.NODE_DOWN:
+            self._on_node_down(ev.payload, ev.time)
+        elif ev.kind is EventKind.NODE_UP:
+            self._on_node_up(ev.payload, ev.time)
+        elif ev.kind is EventKind.REROUTE:
+            sq, arrival = ev.payload
+            self._reroute(sq, arrival, ev.time, from_node=None)
+        else:  # QUERY_DEADLINE
+            self._on_query_deadline(ev.payload, ev.time)
 
     def _on_job_submit(self, job: Job, now: float) -> None:
         self._job_left[job.job_id] = job.n_queries
@@ -167,30 +303,103 @@ class Simulator:
     def _on_query_arrival(self, query: Query, now: float) -> None:
         self._arrival[query.query_id] = now
         self._job_first_arrival.setdefault(query.job_id, now)
+        self._live_query[query.query_id] = query
         self._job_of[query.query_id] = self._job_index[query.job_id]
         subqueries = preprocess_query(query, self.mapper)
         self._remaining[query.query_id] = len(subqueries)
         by_node: dict[int, list] = {}
+        deferred: list[SubQuery] = []
+        lost: bool = False
         for sq in subqueries:
-            by_node.setdefault(self._node_of(sq.atom_id), []).append(sq)
+            if self.injector is None:
+                by_node.setdefault(self._node_of(sq.atom_id), []).append(sq)
+                continue
+            target, lost_everywhere = self._route(sq.atom_id)
+            if target is not None:
+                if target != self._node_of(sq.atom_id):
+                    self._failovers += 1
+                by_node.setdefault(target, []).append(sq)
+            elif lost_everywhere:
+                lost = True
+            else:
+                deferred.append(sq)
         # Every node hears every arrival (possibly with no local
         # sub-queries) so per-node gating state advances even for
-        # queries whose data lives elsewhere.
+        # queries whose data lives elsewhere — including down nodes,
+        # whose gating graphs must stay in sync for recovery.
         for node_idx, node in enumerate(self.nodes):
             node.scheduler.on_query_arrival(query, by_node.get(node_idx, []), now)
+        for sq in deferred:
+            self._defer(sq, now, now)
+        if lost:
+            # Some sub-query's atom is unrecoverable everywhere: the
+            # query can never complete.
+            self._cancel_query(query.query_id, now, reason="data_loss")
+            return
+        deadline = self.config.faults.query_deadline
+        if deadline is not None:
+            self._push(now + deadline, EventKind.QUERY_DEADLINE, query.query_id)
 
-    def _on_batch_done(self, node_idx: int, batch: Batch, now: float) -> None:
+    def _on_batch_done(
+        self, node_idx: int, epoch: int, batch: Batch, failed: list, now: float
+    ) -> None:
         node = self.nodes[node_idx]
+        if epoch != node.epoch:
+            return  # the node crashed mid-batch; this work was re-routed
         node.busy = False
+        node.inflight = None
+        failed_ids = {id(sq) for sq in failed}
         for _, subqueries in batch.atoms:
             for sq in subqueries:
+                if id(sq) in failed_ids:
+                    continue
                 qid = sq.query.query_id
+                if qid not in self._remaining:
+                    continue  # query cancelled while the batch ran
                 self._remaining[qid] -= 1
                 if self._remaining[qid] == 0:
                     self._complete_query(sq.query, now)
+        for sq in failed:
+            self._reroute(sq, self._arrival.get(sq.query.query_id, now), now, from_node=node_idx)
 
+    def _on_node_down(self, node_idx: int, now: float) -> None:
+        node = self.nodes[node_idx]
+        if not node.up:
+            return
+        node.up = False
+        node.epoch += 1
+        self._node_downs += 1
+        evacuated: list[tuple[float, SubQuery]] = []
+        if node.inflight is not None:
+            # Abort the in-flight batch: its completion event is now
+            # stale (epoch mismatch) and its work must move.
+            for _, subqueries in node.inflight.atoms:
+                for sq in subqueries:
+                    qid = sq.query.query_id
+                    if qid in self._remaining:
+                        evacuated.append((self._arrival.get(qid, now), sq))
+        node.busy = False
+        node.inflight = None
+        node.disk.reset_locality()
+        evacuated.extend(node.scheduler.evacuate(now))
+        for arrival, sq in evacuated:
+            self._reroute(sq, arrival, now, from_node=None)
+
+    def _on_node_up(self, node_idx: int, now: float) -> None:
+        node = self.nodes[node_idx]
+        node.up = True
+        node.disk.reset_locality()
+
+    def _on_query_deadline(self, query_id: int, now: float) -> None:
+        if query_id in self._remaining:
+            self._cancel_query(query_id, now, reason="timeout")
+
+    # ------------------------------------------------------------------
+    # Completion and cancellation
+    # ------------------------------------------------------------------
     def _complete_query(self, query: Query, now: float) -> None:
         del self._remaining[query.query_id]
+        self._live_query.pop(query.query_id, None)
         self._last_completion = now
         response = now - self._arrival.pop(query.query_id)
         self._response_times.append(response)
@@ -202,7 +411,8 @@ class Simulator:
         job = self._job_of.pop(query.query_id)
         self._job_left[job.job_id] -= 1
         if self._job_left[job.job_id] == 0:
-            self._job_durations[job.job_id] = now - self._job_first_arrival[job.job_id]
+            if job.job_id not in self._impaired_jobs:
+                self._job_durations[job.job_id] = now - self._job_first_arrival[job.job_id]
         elif job.is_ordered and query.seq + 1 < job.n_queries:
             self._push(
                 now + job.think_time, EventKind.QUERY_ARRIVAL, job.queries[query.seq + 1]
@@ -210,6 +420,35 @@ class Simulator:
 
         if self._completed % self.config.run_length == 0:
             self._run_boundary(now)
+
+    def _cancel_query(self, query_id: int, now: float, reason: str) -> None:
+        """Cancel an arrived, incomplete query everywhere: prune its
+        sub-queries from all workload queues, release its gating
+        partners, and abort the remainder of an ordered job."""
+        query = self._live_query.pop(query_id)
+        self._remaining.pop(query_id, None)
+        self._arrival.pop(query_id, None)
+        self._cancelled += 1
+        if reason == "timeout":
+            self._timeouts += 1
+        else:
+            self._data_loss_cancels += 1
+        for node in self.nodes:
+            node.scheduler.cancel_query(query_id, now)
+
+        job = self._job_of.pop(query_id)
+        self._job_left[job.job_id] -= 1
+        self._impaired_jobs.add(job.job_id)
+        if job.is_ordered:
+            # Later queries never arrive; de-gate them so partner
+            # groups elsewhere are not held forever.
+            for fq in job.queries[query.seq + 1 :]:
+                for node in self.nodes:
+                    node.scheduler.cancel_query(fq.query_id, now)
+                self._job_left[job.job_id] -= 1
+                self._aborted_unarrived += 1
+            if query.seq + 1 < job.n_queries:
+                self._aborted_jobs += 1
 
     def _run_boundary(self, now: float) -> None:
         elapsed = now - self._run_start
@@ -230,17 +469,30 @@ class Simulator:
     # ------------------------------------------------------------------
     def _start_batches(self) -> None:
         for idx, node in enumerate(self.nodes):
-            if node.busy:
+            if node.busy or not node.up:
                 continue
             batch = node.scheduler.next_batch(self.clock)
             if batch is None or batch.n_atoms == 0:
                 continue
-            duration = node.executor.execute(batch, self.clock)
+            outcome = node.executor.execute(batch, self.clock)
             node.busy = True
-            self._push(self.clock + duration, EventKind.BATCH_DONE, (idx, batch))
+            node.inflight = batch
+            self._push(
+                self.clock + outcome.duration,
+                EventKind.BATCH_DONE,
+                (idx, node.epoch, batch, outcome.failed),
+            )
 
     def _any_pending(self) -> bool:
         return any(n.scheduler.has_pending() for n in self.nodes) or bool(self._remaining)
+
+    def _diagnostics(self) -> dict:
+        return {
+            "clock": self.clock,
+            "pending_queries": sorted(self._remaining),
+            "queue_depths": [n.scheduler.queue_depth() for n in self.nodes],
+            "busy_flags": [n.busy for n in self.nodes],
+        }
 
     def run(self) -> RunResult:
         """Replay the whole trace; returns the accumulated results."""
@@ -254,18 +506,21 @@ class Simulator:
                 ev = heapq.heappop(self._heap)
                 self.clock = ev.time
                 if self.clock > self.config.max_sim_time:
-                    raise RuntimeError(
-                        f"virtual clock exceeded max_sim_time={self.config.max_sim_time}"
+                    raise SimTimeExceededError(
+                        f"virtual clock exceeded max_sim_time={self.config.max_sim_time}",
+                        **self._diagnostics(),
                     )
                 self._dispatch(ev)
                 continue
             if self._any_pending():
                 released = False
                 for node in self.nodes:
-                    released |= node.scheduler.force_release(self.clock)
+                    if node.up:
+                        released |= node.scheduler.force_release(self.clock)
                 if not released:
-                    raise RuntimeError(
-                        "livelock: pending queries but no schedulable work"
+                    raise LivelockError(
+                        "livelock: pending queries but no schedulable work",
+                        **self._diagnostics(),
                     )
                 self.forced_releases += 1
                 continue
@@ -279,37 +534,35 @@ class Simulator:
         # First submit to last completion: trailing idle work (e.g. a
         # final speculative prefetch batch) must not inflate makespan.
         makespan = self._last_completion - arr_min if self._response_times else 0.0
-        cache = {"hits": 0, "misses": 0, "evictions": 0, "overhead_ns": 0}
-        disk = {"reads": 0, "sequential_reads": 0, "seconds": 0.0}
-        execs = {
-            "batches": 0,
-            "atoms_executed": 0,
-            "neighbor_reads": 0,
-            "positions": 0,
-            "busy_seconds": 0.0,
-        }
+        cache: dict = {}
+        disk: dict = {}
+        execs: dict = {}
         gating_ns = 0
         sched_forced = 0
-        alpha_history: list[float] = []
+        alpha_histories: list[list[float]] = []
         for node in self.nodes:
             for key, val in node.cache.stats.snapshot().items():
                 if key != "hit_ratio":
-                    cache[key] += val
+                    cache[key] = cache.get(key, 0) + val
             for key, val in node.disk.stats.snapshot().items():
-                disk[key] += val
-            st = node.executor.stats
-            execs["batches"] += st.batches
-            execs["atoms_executed"] += st.atoms_executed
-            execs["neighbor_reads"] += st.neighbor_reads
-            execs["positions"] += st.positions
-            execs["busy_seconds"] += st.busy_seconds
+                disk[key] = disk.get(key, 0) + val
+            for key, val in node.executor.stats.snapshot().items():
+                execs[key] = execs.get(key, 0) + val
             gating_ns += getattr(node.scheduler, "gating_overhead_ns", 0)
             sched_forced += getattr(node.scheduler, "forced_releases", 0)
             history = getattr(node.scheduler, "alpha_history", None)
             if history:
-                alpha_history = history
-        accesses = cache["hits"] + cache["misses"]
-        cache["hit_ratio"] = cache["hits"] / accesses if accesses else 0.0
+                alpha_histories.append(list(history))
+        accesses = cache.get("hits", 0) + cache.get("misses", 0)
+        cache["hit_ratio"] = cache.get("hits", 0) / accesses if accesses else 0.0
+        faults = self.injector.snapshot() if self.injector is not None else {}
+        faults.update(
+            node_downs=self._node_downs,
+            requeued_subqueries=self._requeues,
+            deferred_subqueries=self._deferred,
+            data_loss_cancels=self._data_loss_cancels,
+            aborted_unarrived_queries=self._aborted_unarrived,
+        )
         return RunResult(
             scheduler_name=self.nodes[0].scheduler.name,
             n_queries=len(responses),
@@ -318,11 +571,18 @@ class Simulator:
             response_times=responses,
             job_durations=dict(self._job_durations),
             runs=list(self._runs),
-            alpha_history=alpha_history,
+            alpha_history=alpha_histories[0] if alpha_histories else [],
+            alpha_histories=alpha_histories,
             cache=cache,
             disk=disk,
             exec=execs,
             forced_releases=self.forced_releases + sched_forced,
             gating_overhead_ns=gating_ns,
-            cache_overhead_ns=cache["overhead_ns"],
+            cache_overhead_ns=cache.get("overhead_ns", 0),
+            timeouts=self._timeouts,
+            retries=self.injector.stats.retries if self.injector is not None else 0,
+            failovers=self._failovers,
+            aborted_jobs=self._aborted_jobs,
+            cancelled_queries=self._cancelled,
+            faults=faults,
         )

@@ -1,0 +1,63 @@
+"""Typed exception hierarchy for the simulation engine.
+
+Every failure mode the engine can hit deliberately is a subclass of
+:class:`SimulationError`, which itself subclasses ``RuntimeError`` so
+existing ``except RuntimeError`` call sites keep working.  Each error
+carries a diagnostics snapshot (virtual clock, pending query ids,
+per-node queue depths and busy flags) so a failing run can be triaged
+without re-running under a debugger.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["SimulationError", "LivelockError", "SimTimeExceededError"]
+
+#: How many pending query ids to embed in the rendered message.
+_MAX_IDS_SHOWN = 20
+
+
+class SimulationError(RuntimeError):
+    """Base class for engine failures.
+
+    Attributes
+    ----------
+    clock:
+        Virtual time at which the error was raised.
+    pending_queries:
+        Ids of queries that had arrived but not completed/cancelled.
+    queue_depths:
+        Per-node scheduler queue depths (queued + held sub-queries).
+    busy_flags:
+        Per-node executor busy flags at the time of the error.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        clock: float = 0.0,
+        pending_queries: Sequence[int] = (),
+        queue_depths: Sequence[int] = (),
+        busy_flags: Sequence[bool] = (),
+    ) -> None:
+        self.clock = clock
+        self.pending_queries = list(pending_queries)
+        self.queue_depths = list(queue_depths)
+        self.busy_flags = list(busy_flags)
+        shown = self.pending_queries[:_MAX_IDS_SHOWN]
+        more = len(self.pending_queries) - len(shown)
+        suffix = f" (+{more} more)" if more > 0 else ""
+        super().__init__(
+            f"{message} [clock={clock:.6g}s, pending_queries={shown}{suffix}, "
+            f"queue_depths={self.queue_depths}, busy={self.busy_flags}]"
+        )
+
+
+class LivelockError(SimulationError):
+    """Incomplete queries remain but no node can make progress."""
+
+
+class SimTimeExceededError(SimulationError):
+    """The virtual clock overran ``EngineConfig.max_sim_time``."""

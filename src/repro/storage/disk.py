@@ -4,6 +4,12 @@ Charges the Eq. 1 constant :math:`T_b` per atom read.  The paper
 assumes uniform I/O cost for atoms (they are equal-sized 8 MB blocks);
 ``CostModel.seq_discount < 1`` optionally models the seek savings of
 Morton-sequential reads, used by the disk-model ablation bench.
+
+Fault support: a read attempt that fails (transient error, lost atom)
+still consumes a rotation's worth of time — :meth:`DiskModel.failed_read`
+charges it and breaks the sequential-read streak — and a disk whose
+circuit breaker tripped runs in degraded (RAID-rebuild) mode, scaling
+every subsequent read by a constant factor.
 """
 
 from __future__ import annotations
@@ -22,12 +28,14 @@ class DiskStats:
 
     reads: int = 0
     sequential_reads: int = 0
+    failed_reads: int = 0
     seconds: float = 0.0
 
     def snapshot(self) -> dict:
         return {
             "reads": self.reads,
             "sequential_reads": self.sequential_reads,
+            "failed_reads": self.failed_reads,
             "seconds": self.seconds,
         }
 
@@ -50,6 +58,7 @@ class DiskModel:
         self._cost = cost
         self._tree = BPlusTree.build_clustered(n_atoms, order=tree_order)
         self._last_block: int | None = None
+        self._degrade_factor = 1.0
         self.stats = DiskStats()
 
     @property
@@ -57,22 +66,65 @@ class DiskModel:
         """The clustered access path (exposed for tests/diagnostics)."""
         return self._tree
 
-    def read_atom(self, atom_id: int) -> float:
+    @property
+    def degraded(self) -> bool:
+        """True once :meth:`degrade` marked the disk (breaker tripped)."""
+        return self._degrade_factor > 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Enter degraded mode: every read now costs ``factor`` times
+        more (sticky; repeated calls keep the worst factor)."""
+        if factor < 1.0:
+            raise ValueError("degrade factor must be >= 1")
+        self._degrade_factor = max(self._degrade_factor, factor)
+
+    def reset_locality(self) -> None:
+        """Forget the last-read block.
+
+        Called whenever a read sequence is interrupted — a failed
+        attempt, a node crash/recovery, an aborted batch — so that a
+        retried or re-routed read is never miscounted as sequential.
+        """
+        self._last_block = None
+
+    def read_atom(self, atom_id: int, cost_factor: float = 1.0) -> float:
         """Read one atom; returns the simulated seconds consumed.
 
         A read is *sequential* when its physical block immediately
         follows the previously read block — which happens exactly when
         the scheduler visits Morton-adjacent atoms of one time step in
-        order, because the index is clustered.
+        order, because the index is clustered.  ``cost_factor`` scales
+        this read only (slow-disk fault injection); degraded mode
+        scales every read.
         """
         block = self._tree.get(atom_id)
         if block is None:
             raise KeyError(f"atom {atom_id} not on this disk")
         sequential = self._last_block is not None and block == self._last_block + 1
         self._last_block = block
-        seconds = self._cost.t_b * (self._cost.seq_discount if sequential else 1.0)
+        seconds = (
+            self._cost.t_b
+            * (self._cost.seq_discount if sequential else 1.0)
+            * cost_factor
+            * self._degrade_factor
+        )
         self.stats.reads += 1
         if sequential:
             self.stats.sequential_reads += 1
         self.stats.seconds += seconds
+        return seconds
+
+    def failed_read(self, atom_id: int) -> float:
+        """Charge one failed read attempt of ``atom_id``.
+
+        The time was spent discovering the error, so a full (possibly
+        degraded) :math:`T_b` is consumed, and the sequential streak is
+        broken — the retry must seek back.
+        """
+        if self._tree.get(atom_id) is None:
+            raise KeyError(f"atom {atom_id} not on this disk")
+        seconds = self._cost.t_b * self._degrade_factor
+        self.stats.failed_reads += 1
+        self.stats.seconds += seconds
+        self.reset_locality()
         return seconds
