@@ -1,0 +1,43 @@
+"""Correctness tooling for the JAWS reproduction.
+
+Two independent prongs guard the simulator's determinism contract
+(DESIGN.md §7):
+
+* :mod:`repro.analysis.lint` — ``jawslint``, a stdlib-``ast`` static
+  analysis pass with project-specific determinism rules (D001–D005),
+  runnable as ``repro lint`` or ``python -m repro.analysis.lint``;
+* :mod:`repro.analysis.sanitizer` — a runtime invariant checker wired
+  into the discrete-event engine via ``EngineConfig(sanitize=True)``,
+  raising :class:`~repro.errors.InvariantViolation` with a full state
+  snapshot the moment an engine invariant breaks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "LintViolation",
+    "lint_paths",
+    "lint_source",
+    "SimulationSanitizer",
+]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.lint import LintViolation, lint_paths, lint_source
+    from repro.analysis.sanitizer import SimulationSanitizer
+
+
+def __getattr__(name: str) -> object:
+    # Lazy re-exports: keeps ``python -m repro.analysis.lint`` from
+    # importing the submodule twice (runpy RuntimeWarning) and spares
+    # the engine from loading the linter machinery it never uses.
+    if name in {"LintViolation", "lint_paths", "lint_source"}:
+        from repro.analysis import lint
+
+        return getattr(lint, name)
+    if name == "SimulationSanitizer":
+        from repro.analysis.sanitizer import SimulationSanitizer
+
+        return SimulationSanitizer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,460 @@
+"""``jawslint`` — determinism lint for the simulation codebase.
+
+The reproduction's claims (workload-throughput ordering, gating-edge
+deadlock freedom, two-level batching) are only checkable because the
+discrete-event simulator is bit-for-bit deterministic under a seed.
+This module statically enforces the coding rules that contract rests
+on, using nothing but the stdlib :mod:`ast`:
+
+========  ==========================================================
+rule      what it flags
+========  ==========================================================
+D001      wall-clock reads (``time.time``, ``time.perf_counter``,
+          ``datetime.now`` …) — real time must never leak into
+          simulation state; only the virtual clock may advance it.
+D002      unseeded randomness (module-level ``random.*`` or
+          ``numpy.random.*`` draws).  All randomness must flow
+          through an explicitly seeded ``random.Random`` /
+          ``numpy.random.default_rng`` instance.
+D003      iteration order hazards: ``for … in`` over a ``set``
+          literal/comprehension, ``set(…)``/``frozenset(…)`` call or
+          ``.keys()`` view, and ``max(…items(), key=…)`` /
+          ``min(…)`` whose key lambda lacks a total-order (tuple)
+          tiebreak — both can silently reorder scheduling decisions.
+D004      mutable default arguments (shared state across calls).
+D005      float equality against the virtual clock (``clock ==``,
+          ``now !=`` …) — exact float comparison of accumulated
+          virtual times is never meaningful.
+========  ==========================================================
+
+Suppression: append ``# jawslint: disable=D003`` (comma-separate for
+several rules, omit ``=…`` to disable all) to the flagged line, with a
+comment saying *why* the construct is safe.  A file-wide escape hatch
+``# jawslint: disable-file=D001`` exists for generated code.
+
+Run as ``repro lint [paths…]`` or ``python -m repro.analysis.lint
+src tests``; exits non-zero when violations remain.  The rule corpus
+is exercised by ``tests/test_jawslint.py`` against good/bad fixture
+snippets, and ``tests/test_jawslint.py::test_source_tree_is_clean``
+keeps ``src/repro`` clean at HEAD.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "RULES",
+    "LintViolation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
+#: Rule id -> one-line description (the lint table in DESIGN.md §7).
+RULES: Dict[str, str] = {
+    "D001": "wall-clock read in simulation code (use the virtual clock)",
+    "D002": "unseeded randomness (route through a seeded Random/Generator)",
+    "D003": "unordered set/dict iteration feeding an ordering decision",
+    "D004": "mutable default argument",
+    "D005": "float equality comparison against the virtual clock",
+}
+
+_WALL_CLOCK_TIME_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+        "clock_gettime_ns",
+    }
+)
+_WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+#: numpy.random members that construct *seedable* generators — allowed.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+#: stdlib random members that construct seedable instances — allowed.
+_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*jawslint:\s*(disable-file|disable)(?:=([A-Za-z0-9,\s]+))?"
+)
+
+_CLOCK_NAMES = frozenset({"clock", "now", "sim_time", "virtual_time"})
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One lint finding."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _parse_suppressions(source: str) -> Tuple[Dict[int, Optional[Set[str]]], Optional[Set[str]]]:
+    """Extract per-line and file-wide rule suppressions.
+
+    Returns ``(line -> rules-or-None, file_rules-or-None)`` where
+    ``None`` as a rule set means "all rules".
+    """
+    per_line: Dict[int, Optional[Set[str]]] = {}
+    file_wide: Optional[Set[str]] = None
+    file_wide_all = False
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        kind, raw = m.group(1), m.group(2)
+        rules: Optional[Set[str]] = None
+        if raw is not None:
+            rules = {r.strip().upper() for r in raw.split(",") if r.strip()}
+        if kind == "disable":
+            if rules is None or lineno not in per_line:
+                per_line[lineno] = rules
+            elif per_line[lineno] is not None:
+                existing = per_line[lineno]
+                assert existing is not None
+                existing.update(rules)
+        else:  # disable-file
+            if rules is None:
+                file_wide_all = True
+            elif file_wide is None:
+                file_wide = set(rules)
+            else:
+                file_wide.update(rules)
+    if file_wide_all:
+        file_wide = set(RULES)
+    return per_line, file_wide
+
+
+class _ImportTracker:
+    """Resolve local names back to the dotted module path they alias."""
+
+    def __init__(self) -> None:
+        self._alias: Dict[str, str] = {}
+
+    def visit_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._alias[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+
+    def visit_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never alias stdlib time/random
+        for alias in node.names:
+            self._alias[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        """Rewrite the first segment of ``dotted`` through the alias map."""
+        head, _, rest = dotted.partition(".")
+        origin = self._alias.get(head, head)
+        return f"{origin}.{rest}" if rest else origin
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _Linter(ast.NodeVisitor):
+    """Single-pass rule evaluation over one module's AST."""
+
+    def __init__(self, path: str, imports: _ImportTracker) -> None:
+        self.path = path
+        self.imports = imports
+        self.violations: List[LintViolation] = []
+
+    # -- plumbing -----------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, detail: str) -> None:
+        self.violations.append(
+            LintViolation(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=f"{RULES[rule]}: {detail}",
+            )
+        )
+
+    # -- imports ------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.visit_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.visit_import_from(node)
+        self.generic_visit(node)
+
+    # -- D001 / D002 / D003(b): call-shaped rules ---------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            resolved = self.imports.resolve(dotted)
+            self._check_wall_clock(node, resolved)
+            self._check_randomness(node, resolved)
+            self._check_minmax_items(node, resolved)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, resolved: str) -> None:
+        head, _, member = resolved.rpartition(".")
+        if head == "time" and member in _WALL_CLOCK_TIME_FNS:
+            self._flag(node, "D001", f"call to time.{member}()")
+        elif member in _WALL_CLOCK_DATETIME_FNS and (
+            head in ("datetime", "datetime.datetime", "datetime.date")
+        ):
+            self._flag(node, "D001", f"call to {resolved}()")
+
+    def _check_randomness(self, node: ast.Call, resolved: str) -> None:
+        head, _, member = resolved.rpartition(".")
+        if head == "random" and member not in _RANDOM_ALLOWED:
+            self._flag(node, "D002", f"module-level random.{member}()")
+        elif head in ("numpy.random", "np.random") and member not in _NP_RANDOM_ALLOWED:
+            self._flag(node, "D002", f"module-level numpy.random.{member}()")
+
+    def _check_minmax_items(self, node: ast.Call, resolved: str) -> None:
+        if resolved not in ("max", "min", "sorted"):
+            return
+        feeds_items = any(
+            self._is_items_or_values_call(arg) for arg in node.args
+        )
+        if not feeds_items:
+            return
+        key = next((kw.value for kw in node.keywords if kw.arg == "key"), None)
+        if key is None:
+            # Bare (key, value) tuple comparison: keys are unique, so
+            # the ordering is already total.
+            return
+        if isinstance(key, ast.Lambda) and not isinstance(key.body, ast.Tuple):
+            self._flag(
+                node,
+                "D003",
+                f"{resolved}() over .items()/.values() with a scalar key "
+                "lambda — add a total-order tiebreak (return a tuple)",
+            )
+
+    @staticmethod
+    def _is_items_or_values_call(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("items", "values")
+        )
+
+    # -- D003(a): iteration over unordered collections ----------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_unordered_iter(self, iter_node: ast.expr) -> None:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            self._flag(iter_node, "D003", "iterating a set literal/comprehension")
+            return
+        if isinstance(iter_node, ast.Call):
+            dotted = _dotted_name(iter_node.func)
+            if dotted is not None and self.imports.resolve(dotted) in ("set", "frozenset"):
+                self._flag(
+                    iter_node,
+                    "D003",
+                    f"iterating {dotted}(...) — wrap in sorted(...)",
+                )
+            elif (
+                isinstance(iter_node.func, ast.Attribute)
+                and iter_node.func.attr == "keys"
+            ):
+                self._flag(
+                    iter_node,
+                    "D003",
+                    "iterating .keys() — iterate the dict directly (insertion "
+                    "order) or wrap in sorted(...)",
+                )
+
+    # -- D004: mutable defaults ---------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults: List[ast.expr] = [*node.args.defaults]
+        defaults.extend(d for d in node.args.kw_defaults if d is not None)
+        for default in defaults:
+            if isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+            ):
+                self._flag(default, "D004", f"in def {node.name}(...)")
+            elif isinstance(default, ast.Call):
+                dotted = _dotted_name(default.func)
+                if dotted in ("list", "dict", "set", "bytearray", "collections.deque", "deque"):
+                    self._flag(default, "D004", f"in def {node.name}(...)")
+
+    # -- D005: float == against the virtual clock ---------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                name = self._terminal_name(operand)
+                if name is not None and (
+                    name in _CLOCK_NAMES or name.endswith("_clock")
+                ):
+                    self._flag(
+                        node,
+                        "D005",
+                        f"comparing {name!r} with ==/!= — use an ordering or "
+                        "tolerance test",
+                    )
+                    break
+        self.generic_visit(node)
+
+    @staticmethod
+    def _terminal_name(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
+    """Lint one module's source text; returns surviving violations."""
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, _ImportTracker())
+    linter.visit(tree)
+    per_line, file_wide = _parse_suppressions(source)
+    out: List[LintViolation] = []
+    for violation in linter.violations:
+        if file_wide is not None and violation.rule in file_wide:
+            continue
+        if violation.line in per_line:
+            rules = per_line[violation.line]
+            if rules is None or violation.rule in rules:
+                continue
+        out.append(violation)
+    return out
+
+
+def lint_file(path: Path) -> List[LintViolation]:
+    """Lint one file on disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            LintViolation(
+                path=str(path), line=1, col=0, rule="E000", message=f"unreadable: {exc}"
+            )
+        ]
+    try:
+        return lint_source(source, str(path))
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule="E000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[str | Path]) -> List[LintViolation]:
+    """Lint files and directory trees; returns all surviving violations
+    in (path, line) order."""
+    violations: List[LintViolation] = []
+    for file_path in _iter_python_files(Path(p) for p in paths):
+        violations.extend(lint_file(file_path))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.analysis.lint [paths…]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="jawslint",
+        description="determinism lint for the JAWS simulation codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"jawslint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    violations = lint_paths(args.paths)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"jawslint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""Runtime simulation sanitizer: engine invariants checked per event.
+
+Static lint (:mod:`repro.analysis.lint`) catches nondeterminism at the
+source level; this module catches *state corruption* at run time.  When
+``EngineConfig(sanitize=True)`` is set, the discrete-event engine
+creates one :class:`SimulationSanitizer` and calls back into it
+
+* from :meth:`Simulator._push` — no event may be scheduled into the
+  past;
+* after every dispatched event — the full invariant sweep below;
+* from :meth:`BatchExecutor.execute` — batch outcomes must be sane.
+
+Checked invariants (DESIGN.md §7 lists them with their rationale):
+
+``clock_monotonicity``
+    The virtual clock is finite, non-negative and never decreases.
+``subquery_conservation``
+    For every arrived, incomplete query, the engine's outstanding
+    counter equals the number of its sub-queries physically present in
+    the system (workload queues + gating holds + in-flight batches +
+    parked REROUTE events): arrived = pending + in-flight + completed
+    + cancelled, per query.
+``queue_coherence``
+    Every node's :class:`~repro.core.queues.WorkloadQueues` slot map is
+    internally consistent (slot bijection, position counts, cached
+    flags, total-position accounting).
+``gating_acyclicity`` / ``gating_consistency``
+    Every node's precedence graph partitions queries into cliques with
+    at most one query per job, its contracted group graph is acyclic
+    (the paper's deadlock-freedom condition), and its gating numbers
+    are a stable fixed point.
+``batch_sanity``
+    A batch's duration is finite and non-negative and its failed
+    sub-queries are a subset of the batch's own sub-queries.
+
+Any breach raises :class:`~repro.errors.InvariantViolation` with the
+invariant name, evidence, and the engine's diagnostics snapshot.  The
+sanitizer only *reads* engine state, so a sanitized run produces a
+bit-identical :class:`~repro.engine.results.RunResult` to an
+unsanitized one (asserted by ``tests/test_sanitizer.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
+
+from repro.engine.events import EventKind
+from repro.errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.core.base import Batch
+    from repro.engine.executor import BatchOutcome
+    from repro.engine.simulator import Simulator
+
+__all__ = ["SimulationSanitizer"]
+
+
+class SimulationSanitizer:
+    """Per-event invariant checker attached to one simulator.
+
+    The sanitizer is strictly observational: it never mutates engine
+    state, so enabling it cannot change simulation results — only turn
+    silent corruption into an immediate, diagnosable failure.
+
+    Attributes
+    ----------
+    checks:
+        Number of full invariant sweeps executed (diagnostics).
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._last_clock = 0.0
+        self.checks = 0
+
+    # ------------------------------------------------------------------
+    def _raise(
+        self, invariant: str, message: str, details: Optional[Mapping[str, object]] = None
+    ) -> None:
+        sim = self._sim
+        raise InvariantViolation(
+            invariant,
+            message,
+            details=details,
+            clock=sim.clock,
+            pending_queries=sorted(sim._remaining),
+            queue_depths=[n.scheduler.queue_depth() for n in sim.nodes],
+            busy_flags=[n.busy for n in sim.nodes],
+        )
+
+    # ------------------------------------------------------------------
+    # Hook: event scheduling (Simulator._push)
+    # ------------------------------------------------------------------
+    def on_schedule(self, time_: float, kind: EventKind) -> None:
+        """An event is being pushed onto the heap at virtual ``time_``."""
+        if not math.isfinite(time_):
+            self._raise(
+                "clock_monotonicity",
+                f"non-finite event time scheduled for {kind.name}",
+                {"event_time": time_, "event_kind": kind.name},
+            )
+        if time_ < self._sim.clock:
+            self._raise(
+                "clock_monotonicity",
+                f"{kind.name} scheduled into the past",
+                {"event_time": time_, "clock": self._sim.clock, "event_kind": kind.name},
+            )
+
+    # ------------------------------------------------------------------
+    # Hook: batch execution (BatchExecutor.execute)
+    # ------------------------------------------------------------------
+    def check_batch(self, batch: "Batch", outcome: "BatchOutcome") -> None:
+        """Validate one executed batch's outcome."""
+        if not math.isfinite(outcome.duration) or outcome.duration < 0:
+            self._raise(
+                "batch_sanity",
+                "batch duration must be finite and non-negative",
+                {"duration": outcome.duration, "atoms": batch.atom_ids()},
+            )
+        batch_sqs = {id(sq) for _, subs in batch.atoms for sq in subs}
+        stray = [sq for sq in outcome.failed if id(sq) not in batch_sqs]
+        if stray:
+            self._raise(
+                "batch_sanity",
+                "failed sub-queries are not a subset of the batch",
+                {"stray_query_ids": sorted({sq.query.query_id for sq in stray})},
+            )
+
+    # ------------------------------------------------------------------
+    # Hook: after every dispatched event
+    # ------------------------------------------------------------------
+    def after_event(self) -> None:
+        """Run the full invariant sweep against current engine state."""
+        self.checks += 1
+        self._check_clock()
+        self._check_conservation()
+        self._check_queues()
+        self._check_gating()
+
+    # -- clock --------------------------------------------------------------
+    def _check_clock(self) -> None:
+        clock = self._sim.clock
+        if not math.isfinite(clock) or clock < 0:
+            self._raise(
+                "clock_monotonicity",
+                "virtual clock must be finite and non-negative",
+                {"clock": clock},
+            )
+        if clock < self._last_clock:
+            self._raise(
+                "clock_monotonicity",
+                "virtual clock moved backwards",
+                {"clock": clock, "previous": self._last_clock},
+            )
+        self._last_clock = clock
+
+    # -- sub-query conservation ---------------------------------------------
+    def _located_subqueries(self) -> Counter:
+        """Count, per query id, every sub-query physically present in
+        the system: node workload queues and gating holds, in-flight
+        batches, and parked REROUTE events."""
+        located: Counter = Counter()
+        sim = self._sim
+        for node in sim.nodes:
+            for sq in node.scheduler.iter_pending():
+                located[sq.query.query_id] += 1
+            if node.inflight is not None:
+                for _, subs in node.inflight.atoms:
+                    for sq in subs:
+                        located[sq.query.query_id] += 1
+        for event in sim._heap:
+            if event.kind is EventKind.REROUTE:
+                sq, _arrival = event.payload
+                located[sq.query.query_id] += 1
+        return located
+
+    def _check_conservation(self) -> None:
+        sim = self._sim
+        located = self._located_subqueries()
+        mismatches: Dict[int, Dict[str, int]] = {}
+        for query_id, outstanding in sim._remaining.items():
+            present = located.get(query_id, 0)
+            if present != outstanding:
+                mismatches[query_id] = {"outstanding": outstanding, "present": present}
+        orphans = sorted(qid for qid in located if qid not in sim._remaining)
+        if mismatches:
+            self._raise(
+                "subquery_conservation",
+                "outstanding counters disagree with located sub-queries "
+                "(arrived != pending + in-flight + completed + cancelled)",
+                {"mismatches": mismatches},
+            )
+        if orphans:
+            self._raise(
+                "subquery_conservation",
+                "sub-queries of completed/cancelled queries are still queued",
+                {"orphan_query_ids": orphans},
+            )
+
+    # -- workload-queue coherence -------------------------------------------
+    def _check_queues(self) -> None:
+        for idx, node in enumerate(self._sim.nodes):
+            queues = getattr(node.scheduler, "queues", None)
+            if queues is None:
+                continue
+            problems = queues.check_consistency()
+            if problems:
+                self._raise(
+                    "queue_coherence",
+                    f"workload queues on node {idx} are incoherent",
+                    {"node": idx, "problems": problems},
+                )
+
+    # -- gating-graph validity ----------------------------------------------
+    def _check_gating(self) -> None:
+        for idx, node in enumerate(self._sim.nodes):
+            gating = getattr(node.scheduler, "_gating", None)
+            if gating is None:
+                continue
+            graph = gating.graph
+            problems = graph.validate()
+            if problems:
+                self._raise(
+                    "gating_consistency",
+                    f"precedence graph on node {idx} is inconsistent",
+                    {"node": idx, "problems": problems},
+                )
+            if not graph.is_acyclic():
+                self._raise(
+                    "gating_acyclicity",
+                    f"contracted gating-group graph on node {idx} has a cycle "
+                    "(gated schedule can deadlock)",
+                    {"node": idx, "groups": graph.n_gating_edges()},
+                )

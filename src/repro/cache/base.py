@@ -62,7 +62,7 @@ class CachePolicy(ABC):
 _REGISTRY: Dict[str, Type[CachePolicy]] = {}
 
 
-def register_policy(name: str):
+def register_policy(name: str) -> Callable[[Type[CachePolicy]], Type[CachePolicy]]:
     """Class decorator registering a policy under ``name``."""
 
     def deco(cls: Type[CachePolicy]) -> Type[CachePolicy]:
@@ -74,7 +74,7 @@ def register_policy(name: str):
     return deco
 
 
-def make_policy(name: str, **kwargs) -> CachePolicy:
+def make_policy(name: str, **kwargs: object) -> CachePolicy:
     """Instantiate a registered policy by name."""
     try:
         cls = _REGISTRY[name]

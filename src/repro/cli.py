@@ -10,6 +10,7 @@ repro.cli``::
         --replication 2 --crash 1:100:600
     repro compare --trace trace.npz
     repro experiment fig10 --scale small
+    repro lint src tests
 """
 
 from __future__ import annotations
@@ -20,7 +21,8 @@ import sys
 from typing import Optional, Sequence
 
 from repro.cluster.cluster import run_cluster
-from repro.config import FaultConfig
+from repro.config import EngineConfig, FaultConfig
+from repro.engine.results import RunResult
 from repro.engine.runner import SCHEDULER_NAMES, run_trace
 from repro.experiments import ablations, fig08, fig09, fig10, fig11, fig12, jobid, table1
 from repro.experiments.common import (
@@ -71,7 +73,7 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _fault_config(args) -> Optional[FaultConfig]:
+def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
     crashes = []
     for spec in args.crash:
         parts = spec.split(":")
@@ -146,10 +148,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--csv", default=None, help="also export the series to a CSV file (fig10/fig11/fig12/table1)"
     )
 
+    lint_p = sub.add_parser(
+        "lint", help="run the jawslint determinism rules (D001-D005) over source trees"
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+
     return parser
 
 
-def _cmd_trace_generate(args) -> int:
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
     scale = ExperimentScale(args.scale)
     params = standard_params(scale, seed=args.seed)
     overrides = {}
@@ -170,7 +183,7 @@ def _cmd_trace_generate(args) -> int:
     return 0
 
 
-def _cmd_trace_info(args) -> int:
+def _cmd_trace_info(args: argparse.Namespace) -> int:
     trace = Trace.load(args.path)
     print(f"{args.path}:")
     spec = trace.spec
@@ -184,7 +197,7 @@ def _cmd_trace_info(args) -> int:
     return 0
 
 
-def _run_engine(args):
+def _run_engine(args: argparse.Namespace) -> EngineConfig:
     engine = standard_engine()
     if getattr(args, "cache", None):
         engine = dataclasses.replace(
@@ -193,13 +206,19 @@ def _run_engine(args):
     return engine
 
 
-def _run_one(trace, name, engine, faults, nodes):
+def _run_one(
+    trace: Trace,
+    name: str,
+    engine: EngineConfig,
+    faults: Optional[FaultConfig],
+    nodes: int,
+) -> RunResult:
     if nodes > 1 or faults is not None:
         return run_cluster(trace, name, max(nodes, 1), engine=engine, faults=faults).result
     return run_trace(trace, name, engine)
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     trace = Trace.load(args.trace)
     if args.speedup != 1.0:
         trace = trace.rescale(args.speedup)
@@ -214,7 +233,7 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_compare(args) -> int:
+def _cmd_compare(args: argparse.Namespace) -> int:
     trace = Trace.load(args.trace)
     if args.speedup != 1.0:
         trace = trace.rescale(args.speedup)
@@ -241,7 +260,7 @@ def _cmd_compare(args) -> int:
     return 0
 
 
-def _cmd_experiment(args) -> int:
+def _cmd_experiment(args: argparse.Namespace) -> int:
     run_fn, render_fn = EXPERIMENTS[args.name]
     data = run_fn(ExperimentScale(args.scale))
     print(render_fn(data))
@@ -262,6 +281,15 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.insert(0, "--list-rules")
+    return lint.main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "trace":
@@ -272,6 +300,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_experiment(args)
 
 

@@ -10,7 +10,7 @@ of the paper's results (see DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 __all__ = [
     "CostModel",
@@ -169,7 +169,7 @@ class SchedulerConfig:
         if self.gating_max_lag is not None and self.gating_max_lag < 1:
             raise ValueError("gating_max_lag must be >= 1 or None")
 
-    def with_(self, **kwargs) -> "SchedulerConfig":
+    def with_(self, **kwargs: Any) -> "SchedulerConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
@@ -294,7 +294,7 @@ class FaultConfig:
             or self.query_deadline is not None
         )
 
-    def with_(self, **kwargs) -> "FaultConfig":
+    def with_(self, **kwargs: Any) -> "FaultConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
@@ -325,6 +325,15 @@ class EngineConfig:
         development).
     faults:
         Fault-injection configuration; the default injects nothing.
+    sanitize:
+        Attach the runtime simulation sanitizer
+        (:class:`~repro.analysis.sanitizer.SimulationSanitizer`): after
+        every event the engine asserts sub-query conservation, clock
+        monotonicity, gating-graph acyclicity and workload-queue
+        coherence, raising :class:`~repro.errors.InvariantViolation`
+        on any breach.  Observational only — results are bit-identical
+        with it on or off — but sweeps cost O(pending work) per event,
+        so it is a debugging/CI tool, not a default.
     """
 
     cost: CostModel = field(default_factory=CostModel)
@@ -333,6 +342,7 @@ class EngineConfig:
     run_length: int = 50
     max_sim_time: float = 1e9
     faults: FaultConfig = field(default_factory=FaultConfig)
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.interpolation_order < 2 or self.interpolation_order % 2:
@@ -342,6 +352,6 @@ class EngineConfig:
         if self.max_sim_time <= 0:
             raise ValueError("max_sim_time must be positive")
 
-    def with_(self, **kwargs) -> "EngineConfig":
+    def with_(self, **kwargs: Any) -> "EngineConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.workload.job import Job
 from repro.workload.query import Query, SubQuery
@@ -132,6 +132,13 @@ class Scheduler(ABC):
         data-lost) query and release any gating state referencing it.
         Returns the number of sub-queries removed."""
         return 0
+
+    def iter_pending(self) -> Iterator["SubQuery"]:
+        """Yield every sub-query this scheduler currently holds (queued
+        *and* internally held, e.g. by gating).  The simulation
+        sanitizer uses this for its conservation sweep; implementations
+        must not mutate state while yielding."""
+        return iter(())
 
     def force_release(self, now: float) -> bool:
         """Liveness valve: release any internally held queries.

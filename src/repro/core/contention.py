@@ -11,7 +11,7 @@ draining.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 import numpy as np
 
@@ -115,6 +115,10 @@ class ContentionSchedulerBase(Scheduler):
 
     def queue_depth(self) -> int:
         return sum(len(subs) for subs in self.queues.iter_subquery_lists())
+
+    def iter_pending(self) -> Iterator[SubQuery]:
+        for subs in self.queues.iter_subquery_lists():
+            yield from subs
 
     # ------------------------------------------------------------------
     # Degraded-mode hooks (node failover, query cancellation)

@@ -236,7 +236,9 @@ class PrecedenceGraph:
                 return None
             if st is QueryState.READY:
                 ready.append(member)
-        return ready
+        # Sorted so release (and hence enqueue) order never depends on
+        # set-iteration order — part of the determinism contract (§7).
+        return sorted(ready)
 
     def mark_done(self, qid: int) -> None:
         """Complete a query and prune it from the graph (the paper
@@ -264,3 +266,84 @@ class PrecedenceGraph:
     def n_gating_edges(self) -> int:
         """Number of implied (clique) gating edges."""
         return sum(len(m) * (len(m) - 1) // 2 for m in self._groups.values())
+
+    # ------------------------------------------------------------------
+    # Sanitizer checkpoints
+    # ------------------------------------------------------------------
+    def is_acyclic(self) -> bool:
+        """Is the contracted group graph acyclic right now?
+
+        The deadlock-freedom condition admission maintains; re-checked
+        wholesale by the simulation sanitizer.
+        """
+        if not self._groups:
+            return True
+        gid = next(iter(self._groups))
+        # Merging a group with itself is the identity contraction.
+        return self._acyclic_with_merge(gid, gid)
+
+    def validate(self) -> list[str]:
+        """Audit graph internals: group partition coherence, the
+        one-query-per-job clique rule, and gating-number stability.
+
+        Returns human-readable problem descriptions (empty = valid).
+        Read-only; called by the simulation sanitizer per event.
+        """
+        problems: list[str] = []
+        for qid, v in self._v.items():
+            members = self._groups.get(v.group)
+            if members is None:
+                problems.append(f"query {qid}: group {v.group} missing")
+            elif qid not in members:
+                problems.append(f"query {qid}: not a member of its group {v.group}")
+        for gid, members in self._groups.items():
+            jobs: set[int] = set()
+            for qid in members:
+                v = self._v.get(qid)
+                if v is None:
+                    problems.append(f"group {gid}: member {qid} not in graph")
+                    continue
+                if v.group != gid:
+                    problems.append(f"group {gid}: member {qid} claims group {v.group}")
+                if v.job_id in jobs:
+                    problems.append(f"group {gid}: two queries of job {v.job_id}")
+                jobs.add(v.job_id)
+        for job_id, qids in self._job_queries.items():
+            seqs = []
+            for qid in qids:
+                v = self._v.get(qid)
+                if v is None:
+                    problems.append(f"job {job_id}: pruned query {qid} still listed")
+                    continue
+                if v.job_id != job_id:
+                    problems.append(f"job {job_id}: lists query {qid} of job {v.job_id}")
+                seqs.append(v.seq)
+            if seqs != sorted(seqs):
+                problems.append(f"job {job_id}: query chain out of sequence order")
+        # Gating numbers must be a stable fixed point: one further
+        # relaxation pass over the converged values changes nothing.
+        # (The iteration in ``gating_numbers`` is guard-bounded, so a
+        # cyclic graph could exit before converging — this catches it.)
+        if not problems:
+            g = self.gating_numbers()
+            if any(value < 0 for value in g.values()):
+                problems.append("negative gating number")
+            for qids in self._job_queries.values():
+                prior_edges = 0
+                best_partner = 0
+                for qid in qids:
+                    if prior_edges + best_partner > g[qid]:
+                        problems.append(
+                            f"gating number of query {qid} is not a fixed point"
+                        )
+                        break
+                    partners = self.partners(qid)
+                    if partners:
+                        prior_edges += len(partners)
+                        for p in partners:
+                            if g[p] + 1 > best_partner:
+                                best_partner = g[p] + 1
+                else:
+                    continue
+                break
+        return problems

@@ -14,7 +14,7 @@ cache can save them, as it would under SQL Server).
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.core.base import Batch, Scheduler
 from repro.workload.query import Query, SubQuery
@@ -77,6 +77,11 @@ class NoShareScheduler(Scheduler):
         return sum(len(subs) for _, subs, _ in self._active) + sum(
             len(subs) for _, subs, _ in self._admission
         )
+
+    def iter_pending(self) -> Iterator[SubQuery]:
+        for queue in (self._active, self._admission):
+            for _, subs, _ in queue:
+                yield from subs
 
     # ------------------------------------------------------------------
     # Degraded-mode hooks (node failover, query cancellation)

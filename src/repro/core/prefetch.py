@@ -99,12 +99,14 @@ class TrajectoryPredictor:
         # cover both bounds of each axis' shift.
         lo_shift = np.floor(drift).astype(np.int64)
         hi_shift = np.ceil(drift).astype(np.int64)
-        shifts = {
-            (sx, sy, sz)
-            for sx in {int(lo_shift[0]), int(hi_shift[0])}
-            for sy in {int(lo_shift[1]), int(hi_shift[1])}
-            for sz in {int(lo_shift[2]), int(hi_shift[2])}
-        }
+        shifts = sorted(
+            {
+                (sx, sy, sz)
+                for sx in (int(lo_shift[0]), int(hi_shift[0]))
+                for sy in (int(lo_shift[1]), int(hi_shift[1]))
+                for sz in (int(lo_shift[2]), int(hi_shift[2]))
+            }
+        )
         index = MortonIndex(n_axis)
         pieces = []
         for shift in shifts:

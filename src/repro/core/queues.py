@@ -11,6 +11,8 @@ per-batch scheduling cost is a few array ops, not a Python loop.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.workload.query import SubQuery
@@ -173,7 +175,7 @@ class WorkloadQueues:
             self._cached[slots],
         )
 
-    def iter_subquery_lists(self):
+    def iter_subquery_lists(self) -> Iterator[list[SubQuery]]:
         """Yield each active atom's pending sub-query list (read-only)."""
         for slot in self._slot_of.values():
             yield self._subqueries[slot]
@@ -191,3 +193,52 @@ class WorkloadQueues:
     def timesteps_of(self, atom_ids: np.ndarray) -> np.ndarray:
         """Vectorized packed-id -> time step."""
         return atom_ids // self._atoms_per_timestep
+
+    # ------------------------------------------------------------------
+    # Sanitizer checkpoint
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> list[str]:
+        """Audit the slot map against the parallel arrays.
+
+        Returns human-readable problem descriptions (empty = coherent).
+        Called by the simulation sanitizer after every engine event;
+        read-only.
+        """
+        problems: list[str] = []
+        used = set(self._slot_of.values())
+        if len(used) != len(self._slot_of):
+            problems.append("two atoms share one slot")
+        overlap = used & set(self._free)
+        if overlap:
+            problems.append(f"slots both used and free: {sorted(overlap)}")
+        total = 0
+        for atom_id, slot in self._slot_of.items():
+            if not 0 <= slot < len(self._atom_ids):
+                problems.append(f"atom {atom_id}: slot {slot} out of range")
+                continue
+            if int(self._atom_ids[slot]) != atom_id:
+                problems.append(
+                    f"atom {atom_id}: slot {slot} labeled {int(self._atom_ids[slot])}"
+                )
+            subs = self._subqueries[slot]
+            if not subs:
+                problems.append(f"atom {atom_id}: active slot {slot} has no sub-queries")
+            positions = sum(sq.n_positions for sq in subs)
+            if int(self._counts[slot]) != positions:
+                problems.append(
+                    f"atom {atom_id}: slot count {int(self._counts[slot])} != "
+                    f"sub-query positions {positions}"
+                )
+            if bool(self._cached[slot]) != (atom_id in self._cached_atoms):
+                problems.append(f"atom {atom_id}: stale cached flag")
+            for sq in subs:
+                if sq.atom_id != atom_id:
+                    problems.append(
+                        f"atom {atom_id}: slot holds sub-query for atom {sq.atom_id}"
+                    )
+            total += positions
+        if total != self.total_positions:
+            problems.append(
+                f"total_positions {self.total_positions} != summed slot counts {total}"
+            )
+        return problems

@@ -23,7 +23,7 @@ blocks (§III-A), so halo copies are treated as always readable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.config import CostModel
 from repro.core.base import Batch
@@ -33,6 +33,9 @@ from repro.grid.interpolation import InterpolationSpec
 from repro.storage.buffer import BufferCache
 from repro.storage.disk import DiskModel
 from repro.workload.query import SubQuery
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle at runtime
+    from repro.analysis.sanitizer import SimulationSanitizer
 
 __all__ = ["ExecStats", "BatchOutcome", "BatchExecutor"]
 
@@ -84,6 +87,7 @@ class BatchExecutor:
         interp: InterpolationSpec,
         injector: Optional[FaultInjector] = None,
         node_idx: int = 0,
+        sanitizer: Optional["SimulationSanitizer"] = None,
     ) -> None:
         self.spec = spec
         self.cost = cost
@@ -92,6 +96,7 @@ class BatchExecutor:
         self.interp = interp
         self.injector = injector
         self.node_idx = node_idx
+        self.sanitizer = sanitizer
         self.stats = ExecStats()
 
     # ------------------------------------------------------------------
@@ -149,4 +154,7 @@ class BatchExecutor:
                 self.stats.positions += sq.n_positions
         self.stats.batches += 1
         self.stats.busy_seconds += duration
-        return BatchOutcome(duration, failed)
+        outcome = BatchOutcome(duration, failed)
+        if self.sanitizer is not None:
+            self.sanitizer.check_batch(batch, outcome)
+        return outcome

@@ -43,7 +43,8 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.cache.base import make_policy
+from repro.analysis.sanitizer import SimulationSanitizer
+from repro.cache.base import CachePolicy, make_policy
 from repro.config import CacheConfig, EngineConfig
 from repro.core.base import Batch, RunObservation, Scheduler
 from repro.core.contention import ContentionSchedulerBase
@@ -53,6 +54,7 @@ from repro.engine.faults import FaultInjector
 from repro.engine.results import RunResult
 from repro.errors import LivelockError, SimTimeExceededError, SimulationError
 from repro.grid.atoms import AtomMapper
+from repro.grid.dataset import DatasetSpec
 from repro.grid.interpolation import InterpolationSpec
 from repro.storage.buffer import BufferCache
 from repro.storage.disk import DiskModel
@@ -63,7 +65,7 @@ from repro.workload.trace import Trace
 __all__ = ["Simulator", "build_policy"]
 
 
-def build_policy(config: CacheConfig):
+def build_policy(config: CacheConfig) -> CachePolicy:
     """Instantiate the configured replacement policy with its knobs."""
     if config.policy == "slru":
         return make_policy(
@@ -83,9 +85,10 @@ class _Node:
         self,
         idx: int,
         scheduler: Scheduler,
-        spec,
+        spec: DatasetSpec,
         config: EngineConfig,
         injector: Optional[FaultInjector],
+        sanitizer: Optional[SimulationSanitizer] = None,
     ) -> None:
         self.scheduler = scheduler
         self.cache = BufferCache(config.cache.capacity_atoms, build_policy(config.cache))
@@ -98,6 +101,7 @@ class _Node:
             InterpolationSpec(order=config.interpolation_order),
             injector=injector,
             node_idx=idx,
+            sanitizer=sanitizer,
         )
         self.busy = False
         self.up = True
@@ -146,8 +150,9 @@ class Simulator:
         self.mapper = AtomMapper(self.spec)
         faults = self.config.faults
         self.injector = FaultInjector(faults, len(schedulers)) if faults.enabled else None
+        self.sanitizer = SimulationSanitizer(self) if self.config.sanitize else None
         self.nodes = [
-            _Node(i, s, self.spec, self.config, self.injector)
+            _Node(i, s, self.spec, self.config, self.injector, self.sanitizer)
             for i, s in enumerate(schedulers)
         ]
         self._node_of = node_of or (lambda atom_id: 0)
@@ -202,7 +207,9 @@ class Simulator:
         self._recovery_times = sorted(up_t for _, _, up_t in faults.node_crashes)
 
     # ------------------------------------------------------------------
-    def _push(self, time_: float, kind: EventKind, payload) -> None:
+    def _push(self, time_: float, kind: EventKind, payload: object) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(time_, kind)
         heapq.heappush(self._heap, Event(time_, kind, self._seq, payload))
         self._seq += 1
 
@@ -289,6 +296,10 @@ class Simulator:
             self._reroute(sq, arrival, ev.time, from_node=None)
         else:  # QUERY_DEADLINE
             self._on_query_deadline(ev.payload, ev.time)
+        if self.sanitizer is not None:
+            # Every event handler leaves the engine in a consistent
+            # state; sweep all invariants before the next decision.
+            self.sanitizer.after_event()
 
     def _on_job_submit(self, job: Job, now: float) -> None:
         self._job_left[job.job_id] = job.n_queries

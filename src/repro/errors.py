@@ -10,9 +10,14 @@ without re-running under a debugger.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
-__all__ = ["SimulationError", "LivelockError", "SimTimeExceededError"]
+__all__ = [
+    "SimulationError",
+    "LivelockError",
+    "SimTimeExceededError",
+    "InvariantViolation",
+]
 
 #: How many pending query ids to embed in the rendered message.
 _MAX_IDS_SHOWN = 20
@@ -61,3 +66,46 @@ class LivelockError(SimulationError):
 
 class SimTimeExceededError(SimulationError):
     """The virtual clock overran ``EngineConfig.max_sim_time``."""
+
+
+class InvariantViolation(SimulationError):
+    """The runtime simulation sanitizer found broken engine state.
+
+    Raised only when ``EngineConfig(sanitize=True)`` enables the
+    :class:`~repro.analysis.sanitizer.SimulationSanitizer`.  Carries
+    the name of the broken invariant and a free-form detail mapping on
+    top of the base diagnostics snapshot, so a violating run can be
+    triaged from the exception alone.
+
+    Attributes
+    ----------
+    invariant:
+        Machine-readable invariant name (e.g. ``"subquery_conservation"``,
+        ``"clock_monotonicity"``, ``"gating_acyclicity"``,
+        ``"queue_coherence"``).
+    details:
+        Invariant-specific evidence (expected/actual counts, offending
+        ids, …).
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        clock: float = 0.0,
+        pending_queries: Sequence[int] = (),
+        queue_depths: Sequence[int] = (),
+        busy_flags: Sequence[bool] = (),
+        details: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.details: dict[str, object] = dict(details or {})
+        detail_str = f", details={self.details}" if self.details else ""
+        super().__init__(
+            f"invariant {invariant!r} violated: {message}{detail_str}",
+            clock=clock,
+            pending_queries=pending_queries,
+            queue_depths=queue_depths,
+            busy_flags=busy_flags,
+        )

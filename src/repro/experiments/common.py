@@ -12,6 +12,7 @@ EXPERIMENTS.md numbers.
 from __future__ import annotations
 
 import enum
+from typing import Any
 from repro.config import CacheConfig, CostModel, EngineConfig, SchedulerConfig
 from repro.grid.dataset import DatasetSpec
 from repro.workload.generator import WorkloadParams, generate_trace
@@ -76,7 +77,7 @@ def standard_engine() -> EngineConfig:
     )
 
 
-def standard_scheduler_config(**overrides) -> SchedulerConfig:
+def standard_scheduler_config(**overrides: Any) -> SchedulerConfig:
     """JAWS defaults: α₀ = 0.5, adaptive, k = 15 (paper §VI-B)."""
     base = SchedulerConfig(
         alpha=0.5, adaptive_alpha=True, batch_size=15, run_length=40

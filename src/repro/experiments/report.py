@@ -11,7 +11,7 @@ def render_table(
     headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
 ) -> str:
     """Fixed-width table; floats formatted to 3 significant decimals."""
-    def fmt(v):
+    def fmt(v: object) -> str:
         if isinstance(v, float):
             return f"{v:.3f}"
         return str(v)

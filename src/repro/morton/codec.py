@@ -16,6 +16,7 @@ reproduction experiments).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "MAX_COORD_BITS",
@@ -60,7 +61,9 @@ def _compact_bits(codes: np.ndarray) -> np.ndarray:
     return x
 
 
-def morton_encode_unchecked(x, y, z) -> np.ndarray:
+def morton_encode_unchecked(
+    x: "npt.ArrayLike", y: "npt.ArrayLike", z: "npt.ArrayLike"
+) -> np.ndarray:
     """:func:`morton_encode` without bounds validation.
 
     For internal hot paths whose inputs are already grid-clamped; the
@@ -73,7 +76,7 @@ def morton_encode_unchecked(x, y, z) -> np.ndarray:
     )
 
 
-def morton_encode(x, y, z) -> np.ndarray:
+def morton_encode(x: "npt.ArrayLike", y: "npt.ArrayLike", z: "npt.ArrayLike") -> np.ndarray:
     """Interleave three coordinate arrays into Morton codes.
 
     Parameters
@@ -100,7 +103,7 @@ def morton_encode(x, y, z) -> np.ndarray:
     return morton_encode_unchecked(x, y, z)
 
 
-def morton_decode(codes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def morton_decode(codes: "npt.ArrayLike") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Recover ``(x, y, z)`` coordinate arrays from Morton codes."""
     codes = np.asarray(codes, dtype=np.uint64)
     x = _compact_bits(codes)

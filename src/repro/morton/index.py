@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.morton.codec import morton_decode, morton_encode
 
@@ -57,7 +58,7 @@ class MortonIndex:
     # ------------------------------------------------------------------
     # Coordinate <-> code
     # ------------------------------------------------------------------
-    def encode(self, x, y, z) -> np.ndarray:
+    def encode(self, x: "npt.ArrayLike", y: "npt.ArrayLike", z: "npt.ArrayLike") -> np.ndarray:
         """Morton codes for atom coordinates; validates grid bounds."""
         x = np.asarray(x)
         y = np.asarray(y)
@@ -67,7 +68,7 @@ class MortonIndex:
                 raise ValueError("atom coordinate out of grid bounds")
         return morton_encode(x, y, z)
 
-    def decode(self, codes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def decode(self, codes: "npt.ArrayLike") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Atom coordinates for Morton codes; validates code bounds."""
         codes = np.asarray(codes, dtype=np.uint64)
         if np.any(codes >= self.n_atoms):

@@ -63,7 +63,7 @@ class BPlusTree:
             new_root.children = [self._root, right]
             self._root = new_root
 
-    def _insert(self, node: _Node, key: int, value: int):
+    def _insert(self, node: _Node, key: int, value: int) -> Optional[tuple[int, _Node]]:
         if node.is_leaf:
             i = bisect.bisect_left(node.keys, key)
             if i < len(node.keys) and node.keys[i] == key:
@@ -85,7 +85,7 @@ class BPlusTree:
                 return self._split_internal(node)
         return None
 
-    def _split_leaf(self, node: _Node):
+    def _split_leaf(self, node: _Node) -> tuple[int, _Node]:
         mid = len(node.keys) // 2
         right = _Node(is_leaf=True)
         right.keys = node.keys[mid:]
@@ -96,7 +96,7 @@ class BPlusTree:
         node.next_leaf = right
         return right.keys[0], right
 
-    def _split_internal(self, node: _Node):
+    def _split_internal(self, node: _Node) -> tuple[int, _Node]:
         mid = len(node.keys) // 2
         sep = node.keys[mid]
         right = _Node(is_leaf=False)

@@ -57,7 +57,7 @@ class TestAddPop:
         for cycle in range(3):
             for sq in subs:
                 queues.add(sq, now=float(cycle))
-            for atom in {sq.atom_id for sq in subs}:
+            for atom in sorted({sq.atom_id for sq in subs}):
                 queues.pop_atom(atom)
         assert len(queues) == 0
         assert queues.total_positions == 0
