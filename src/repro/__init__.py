@@ -28,6 +28,9 @@ Subpackages
     cache with LRU / LRU-K / SLRU / URC replacement.
 ``repro.engine``
     The discrete-event simulator and result types.
+``repro.recovery``
+    Crash-consistent checkpointing: versioned snapshots + write-ahead
+    log, deterministic resume via ``Simulator.restore``.
 ``repro.cluster``
     Multi-node spatial partitioning (Fig. 7).
 ``repro.experiments``
@@ -36,6 +39,7 @@ Subpackages
 
 from repro.config import (
     CacheConfig,
+    CheckpointConfig,
     CostModel,
     EngineConfig,
     FaultConfig,
@@ -49,7 +53,14 @@ from repro.core import (
     NoShareScheduler,
 )
 from repro.engine import FaultInjector, RunResult, Simulator, make_scheduler, run_trace
-from repro.errors import LivelockError, SimTimeExceededError, SimulationError
+from repro.errors import (
+    CoordinatorCrash,
+    InvariantViolation,
+    LivelockError,
+    RecoveryError,
+    SimTimeExceededError,
+    SimulationError,
+)
 from repro.grid import DatasetSpec, SyntheticTurbulence
 from repro.workload import Trace, WorkloadParams, generate_trace
 
@@ -63,10 +74,14 @@ __all__ = [
     "SchedulerConfig",
     "EngineConfig",
     "FaultConfig",
+    "CheckpointConfig",
     "FaultInjector",
     "SimulationError",
     "LivelockError",
     "SimTimeExceededError",
+    "InvariantViolation",
+    "CoordinatorCrash",
+    "RecoveryError",
     "DatasetSpec",
     "SyntheticTurbulence",
     "Trace",

@@ -76,6 +76,26 @@ class SimulationSanitizer:
         self.checks = 0
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the simulator back-reference.
+
+        The sanitizer is part of checkpoint snapshot state (its
+        ``_last_clock`` / ``checks`` progress must survive a crash), but
+        serializing ``_sim`` would recursively duplicate the entire
+        engine.  ``Simulator.restore`` calls :meth:`attach` to rewire
+        the back-reference on the rebuilt object.
+        """
+        state = dict(self.__dict__)
+        state["_sim"] = None
+        return state
+
+    def attach(self, sim: "Simulator") -> None:
+        """Re-point a restored sanitizer at its rebuilt simulator."""
+        self._sim = sim
+
+    # ------------------------------------------------------------------
     def _raise(
         self, invariant: str, message: str, details: Optional[Mapping[str, object]] = None
     ) -> None:
@@ -85,6 +105,8 @@ class SimulationSanitizer:
             message,
             details=details,
             clock=sim.clock,
+            event_index=sim.event_index,
+            rng_digest=sim.injector.rng_digest() if sim.injector is not None else None,
             pending_queries=sorted(sim._remaining),
             queue_depths=[n.scheduler.queue_depth() for n in sim.nodes],
             busy_flags=[n.busy for n in sim.nodes],

@@ -8,6 +8,8 @@ repro.cli``::
     repro run --trace trace.npz --scheduler jaws2 --cache urc
     repro run --trace trace.npz --nodes 4 --disk-fault-rate 0.05 \
         --replication 2 --crash 1:100:600
+    repro run --trace trace.npz --checkpoint-dir ckpt --crash-at-event 500
+    repro resume --dir ckpt
     repro compare --trace trace.npz
     repro experiment fig10 --scale small
     repro lint src tests
@@ -21,9 +23,10 @@ import sys
 from typing import Optional, Sequence
 
 from repro.cluster.cluster import run_cluster
-from repro.config import EngineConfig, FaultConfig
+from repro.config import CheckpointConfig, EngineConfig, FaultConfig
 from repro.engine.results import RunResult
 from repro.engine.runner import SCHEDULER_NAMES, run_trace
+from repro.errors import CoordinatorCrash, RecoveryError
 from repro.experiments import ablations, fig08, fig09, fig10, fig11, fig12, jobid, table1
 from repro.experiments.common import (
     ExperimentScale,
@@ -71,6 +74,11 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         "--crash", action="append", default=[], metavar="NODE:DOWN:UP",
         help="crash node NODE at time DOWN, recover at UP (repeatable)",
     )
+    grp.add_argument(
+        "--crash-at-event", type=int, default=None, metavar="N",
+        help="kill the coordinator before dispatching event N "
+        "(recover with 'repro resume' when checkpointing is on)",
+    )
 
 
 def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
@@ -91,6 +99,7 @@ def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
             query_deadline=args.deadline,
             replication=args.replication,
             node_crashes=tuple(crashes),
+            coordinator_crash_at=args.crash_at_event,
         )
     except ValueError as exc:
         raise SystemExit(f"invalid fault configuration: {exc}") from None
@@ -131,6 +140,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--speedup", type=float, default=1.0)
     run_p.add_argument("--nodes", type=int, default=1, help="cluster size")
     _add_fault_args(run_p)
+    ckpt = run_p.add_argument_group("crash-consistent checkpointing")
+    ckpt.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist snapshots + write-ahead log under DIR (enables recovery)",
+    )
+    ckpt.add_argument(
+        "--checkpoint-every-events", type=int, default=None, metavar="N",
+        help="snapshot every N dispatched events (default 500 if only a dir is given)",
+    )
+    ckpt.add_argument(
+        "--checkpoint-every-seconds", type=float, default=None, metavar="T",
+        help="snapshot every T virtual seconds",
+    )
+
+    res_p = sub.add_parser("resume", help="resume a crashed run from its checkpoints")
+    res_p.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="checkpoint directory of the crashed run (--checkpoint-dir)",
+    )
 
     cmp_p = sub.add_parser("compare", help="replay a trace under several schedulers")
     cmp_p.add_argument("--trace", required=True)
@@ -203,6 +231,19 @@ def _run_engine(args: argparse.Namespace) -> EngineConfig:
         engine = dataclasses.replace(
             engine, cache=dataclasses.replace(engine.cache, policy=args.cache)
         )
+    if getattr(args, "checkpoint_dir", None):
+        every_events = args.checkpoint_every_events
+        if every_events is None and args.checkpoint_every_seconds is None:
+            every_events = 500  # a directory alone implies a sane default policy
+        try:
+            checkpoint = CheckpointConfig(
+                directory=args.checkpoint_dir,
+                every_events=every_events,
+                every_seconds=args.checkpoint_every_seconds,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"invalid checkpoint configuration: {exc}") from None
+        engine = dataclasses.replace(engine, checkpoint=checkpoint)
     return engine
 
 
@@ -218,18 +259,57 @@ def _run_one(
     return run_trace(trace, name, engine)
 
 
+def _print_result(result: RunResult, degraded: bool) -> None:
+    for key, value in result.summary().items():
+        print(f"  {key}: {value if isinstance(value, str) else round(value, 4)}")
+    if degraded:
+        print("  -- degraded-mode outcomes --")
+        for key, value in result.fault_summary().items():
+            print(f"  {key}: {round(value, 4)}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = Trace.load(args.trace)
     if args.speedup != 1.0:
         trace = trace.rescale(args.speedup)
     faults = _fault_config(args)
-    result = _run_one(trace, args.scheduler, _run_engine(args), faults, args.nodes)
-    for key, value in result.summary().items():
-        print(f"  {key}: {value if isinstance(value, str) else round(value, 4)}")
-    if faults is not None:
-        print("  -- degraded-mode outcomes --")
-        for key, value in result.fault_summary().items():
-            print(f"  {key}: {round(value, 4)}")
+    try:
+        result = _run_one(trace, args.scheduler, _run_engine(args), faults, args.nodes)
+    except CoordinatorCrash as exc:
+        print(f"coordinator crashed: {exc}", file=sys.stderr)
+        if getattr(args, "checkpoint_dir", None):
+            print(
+                f"recover with: repro resume --dir {args.checkpoint_dir}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "no --checkpoint-dir was set; this run cannot be recovered",
+                file=sys.stderr,
+            )
+        return 3
+    _print_result(result, degraded=faults is not None)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.engine.simulator import Simulator
+
+    try:
+        sim = Simulator.restore(args.dir)
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"resuming from event {sim.event_index} "
+        f"(clock {sim.clock:.6g}s, {sim._completed} queries completed)"
+    )
+    try:
+        result = sim.run()
+    except RecoveryError as exc:
+        print(f"recovery failed during WAL replay: {exc}", file=sys.stderr)
+        return 2
+    _print_result(result, degraded=sim.injector is not None)
     return 0
 
 
@@ -298,6 +378,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace_info(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "lint":

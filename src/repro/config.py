@@ -18,6 +18,7 @@ __all__ = [
     "MetricConfig",
     "SchedulerConfig",
     "FaultConfig",
+    "CheckpointConfig",
     "EngineConfig",
 ]
 
@@ -231,6 +232,20 @@ class FaultConfig:
         Atom ownership copies used by cluster routing
         (:class:`~repro.cluster.partition.MortonRangePartitioner`);
         ``1`` means no failover targets for lost atoms or down nodes.
+    coordinator_crash_at:
+        ``coordinator_crash`` fault: abort the whole run (raising
+        :class:`~repro.errors.CoordinatorCrash`) immediately before
+        dispatching the event with this 0-based index — modeling the
+        coordinator process dying mid-run.  Recovery goes through
+        checkpoints (:class:`CheckpointConfig` and
+        ``Simulator.restore``).  ``None`` disables.
+    coordinator_crash_window:
+        Seeded alternative to :attr:`coordinator_crash_at`: an
+        ``(lo, hi)`` event-index window from which the injector draws
+        the crash index once, from a dedicated ``random.Random`` stream
+        derived from :attr:`seed` (so arming the crash never perturbs
+        the disk-fault stream).  Ignored when
+        :attr:`coordinator_crash_at` is set.
     """
 
     seed: int = 0
@@ -248,6 +263,8 @@ class FaultConfig:
     node_crashes: tuple = ()
     query_deadline: Optional[float] = None
     replication: int = 1
+    coordinator_crash_at: Optional[int] = None
+    coordinator_crash_window: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         for name in ("transient_fault_rate", "permanent_loss_rate", "slow_read_rate"):
@@ -270,6 +287,18 @@ class FaultConfig:
             raise ValueError("query_deadline must be positive or None")
         if self.replication < 1:
             raise ValueError("replication must be >= 1")
+        if self.coordinator_crash_at is not None and self.coordinator_crash_at < 0:
+            raise ValueError("coordinator_crash_at must be >= 0 or None")
+        if self.coordinator_crash_window is not None:
+            window = tuple(self.coordinator_crash_window)
+            if len(window) != 2:
+                raise ValueError("coordinator_crash_window must be (lo, hi)")
+            lo, hi = window
+            if int(lo) != lo or int(hi) != hi or not 0 <= lo < hi:
+                raise ValueError(
+                    "coordinator_crash_window must satisfy 0 <= lo < hi (integers)"
+                )
+            object.__setattr__(self, "coordinator_crash_window", (int(lo), int(hi)))
         # Normalize the crash schedule to a hashable tuple-of-tuples.
         crashes = tuple(tuple(c) for c in self.node_crashes)
         for crash in crashes:
@@ -292,9 +321,70 @@ class FaultConfig:
             or self.slow_read_rate > 0
             or self.node_crashes
             or self.query_deadline is not None
+            or self.coordinator_crash_at is not None
+            or self.coordinator_crash_window is not None
         )
 
     def with_(self, **kwargs: Any) -> "FaultConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Crash-consistent checkpointing policy (DESIGN.md §8).
+
+    When :attr:`enabled`, the engine persists a versioned snapshot of
+    the complete simulation state to :attr:`directory` whenever the
+    policy fires, and keeps an event-sourced write-ahead log of every
+    dispatched event between snapshots.  ``Simulator.restore`` rebuilds
+    the engine from the latest snapshot, replays the WAL (verifying
+    each event against the log), and resumes — a resumed run is
+    bit-identical to an uninterrupted same-seed run.
+
+    Attributes
+    ----------
+    directory:
+        Where snapshots (``snapshot-<event>.ckpt``) and WAL segments
+        (``wal-<event>.log``) are written.  ``None`` disables
+        checkpointing entirely.
+    every_events:
+        Take a snapshot every N dispatched events (``None`` = no
+        event-count trigger).
+    every_seconds:
+        Take a snapshot every T *virtual* seconds (``None`` = no
+        clock trigger).  Both triggers may be combined; a snapshot is
+        taken when either fires.
+    keep:
+        Snapshot generations retained (older snapshot + WAL files are
+        pruned).  The latest snapshot is never pruned.
+    """
+
+    directory: Optional[str] = None
+    every_events: Optional[int] = None
+    every_seconds: Optional[float] = None
+    keep: int = 3
+
+    def __post_init__(self) -> None:
+        if self.every_events is not None and self.every_events < 1:
+            raise ValueError("every_events must be >= 1 or None")
+        if self.every_seconds is not None and self.every_seconds <= 0:
+            raise ValueError("every_seconds must be positive or None")
+        if self.keep < 1:
+            raise ValueError("keep must be >= 1")
+        if self.directory is not None and self.every_events is None and self.every_seconds is None:
+            raise ValueError(
+                "checkpointing needs a policy: set every_events and/or every_seconds"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when a directory and at least one trigger are set."""
+        return self.directory is not None and (
+            self.every_events is not None or self.every_seconds is not None
+        )
+
+    def with_(self, **kwargs: Any) -> "CheckpointConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
@@ -325,6 +415,9 @@ class EngineConfig:
         development).
     faults:
         Fault-injection configuration; the default injects nothing.
+    checkpoint:
+        Crash-consistent checkpointing policy
+        (:class:`CheckpointConfig`); the default disables it.
     sanitize:
         Attach the runtime simulation sanitizer
         (:class:`~repro.analysis.sanitizer.SimulationSanitizer`): after
@@ -342,6 +435,7 @@ class EngineConfig:
     run_length: int = 50
     max_sim_time: float = 1e9
     faults: FaultConfig = field(default_factory=FaultConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     sanitize: bool = False
 
     def __post_init__(self) -> None:

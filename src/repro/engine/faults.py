@@ -17,6 +17,7 @@ the property the determinism tests in ``tests/test_faults.py`` assert.
 from __future__ import annotations
 
 import enum
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Optional
@@ -28,11 +29,19 @@ __all__ = ["FaultKind", "FaultStats", "FaultInjector"]
 
 
 class FaultKind(enum.Enum):
-    """Outcome of one disk read attempt."""
+    """Injected fault taxonomy.
+
+    ``OK`` / ``TRANSIENT`` / ``LOST`` are the outcomes of one disk read
+    attempt; ``COORDINATOR_CRASH`` is a whole-run fault — the engine
+    aborts with :class:`~repro.errors.CoordinatorCrash` at an armed
+    event index (recovered via the checkpoint subsystem,
+    :mod:`repro.recovery`).
+    """
 
     OK = "ok"
     TRANSIENT = "transient"
     LOST = "lost"
+    COORDINATOR_CRASH = "coordinator_crash"
 
 
 @dataclass
@@ -78,6 +87,15 @@ class FaultInjector:
         self._retry_budget: list[Optional[int]] = [config.retry_budget_per_node] * n_nodes
         self.degraded = [False] * n_nodes
         self.stats = FaultStats()
+        # Coordinator-crash point: explicit index, or drawn once from a
+        # DEDICATED seeded stream (never the shared fault stream, so
+        # arming a crash cannot perturb disk-fault outcomes and a
+        # resumed run stays bit-identical to an uninterrupted one).
+        self.crash_at: Optional[int] = config.coordinator_crash_at
+        if self.crash_at is None and config.coordinator_crash_window is not None:
+            lo, hi = config.coordinator_crash_window
+            crash_rng = random.Random(f"{config.seed}:coordinator_crash")
+            self.crash_at = crash_rng.randrange(int(lo), int(hi))
 
     # ------------------------------------------------------------------
     # Read outcomes
@@ -163,6 +181,28 @@ class FaultInjector:
         if cfg.backoff_jitter > 0:
             delay *= 1.0 + cfg.backoff_jitter * (2.0 * self._rng.random() - 1.0)
         return delay
+
+    # ------------------------------------------------------------------
+    # Coordinator crash (FaultKind.COORDINATOR_CRASH)
+    # ------------------------------------------------------------------
+    def coordinator_crash_due(self, event_index: int) -> bool:
+        """Should the coordinator abort before dispatching this event?"""
+        return self.crash_at is not None and event_index >= self.crash_at
+
+    def disarm_coordinator_crash(self) -> None:
+        """Clear the armed crash point (called on checkpoint restore so
+        the resumed run does not immediately re-crash)."""
+        self.crash_at = None
+
+    def rng_digest(self) -> str:
+        """Short stable digest of the injector's RNG state.
+
+        Embedded in error diagnostics and snapshot headers: two runs
+        that diverge show different digests at the first divergent
+        event, pinpointing the replay position of the divergence.
+        """
+        state = repr(self._rng.getstate()).encode()
+        return hashlib.sha256(state).hexdigest()[:16]
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

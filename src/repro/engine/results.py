@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -137,3 +138,79 @@ class RunResult:
             "aborted_jobs": self.aborted_jobs,
             "cancelled_queries": self.cancelled_queries,
         }
+
+    # -- lossless serialization ---------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict carrying every field losslessly.
+
+        ``response_times`` becomes a plain list, ``job_durations`` keys
+        become strings (JSON objects have string keys), and each
+        :class:`~repro.core.base.RunObservation` becomes a dict.
+        :meth:`from_dict` inverts all three, so a round trip reproduces
+        the original, including the fault/recovery counters.
+        """
+        return {
+            "scheduler_name": self.scheduler_name,
+            "n_queries": self.n_queries,
+            "n_jobs": self.n_jobs,
+            "makespan": self.makespan,
+            "response_times": [float(x) for x in self.response_times],
+            "job_durations": {str(k): v for k, v in self.job_durations.items()},
+            "runs": [
+                {
+                    "run_index": obs.run_index,
+                    "mean_response_time": obs.mean_response_time,
+                    "throughput": obs.throughput,
+                }
+                for obs in self.runs
+            ],
+            "alpha_history": list(self.alpha_history),
+            "alpha_histories": [list(h) for h in self.alpha_histories],
+            "cache": dict(self.cache),
+            "disk": dict(self.disk),
+            "exec": dict(self.exec),
+            "forced_releases": self.forced_releases,
+            "gating_overhead_ns": self.gating_overhead_ns,
+            "cache_overhead_ns": self.cache_overhead_ns,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "aborted_jobs": self.aborted_jobs,
+            "cancelled_queries": self.cancelled_queries,
+            "faults": dict(self.faults),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict` (accepts freshly ``json.loads``-ed
+        mappings)."""
+        return cls(
+            scheduler_name=str(data["scheduler_name"]),
+            n_queries=int(data["n_queries"]),
+            n_jobs=int(data["n_jobs"]),
+            makespan=float(data["makespan"]),
+            response_times=np.asarray(data["response_times"], dtype=np.float64),
+            job_durations={int(k): float(v) for k, v in data["job_durations"].items()},
+            runs=[
+                RunObservation(
+                    run_index=int(obs["run_index"]),
+                    mean_response_time=float(obs["mean_response_time"]),
+                    throughput=float(obs["throughput"]),
+                )
+                for obs in data["runs"]
+            ],
+            alpha_history=[float(a) for a in data["alpha_history"]],
+            alpha_histories=[[float(a) for a in h] for h in data["alpha_histories"]],
+            cache=dict(data["cache"]),
+            disk=dict(data["disk"]),
+            exec=dict(data["exec"]),
+            forced_releases=int(data["forced_releases"]),
+            gating_overhead_ns=int(data["gating_overhead_ns"]),
+            cache_overhead_ns=int(data["cache_overhead_ns"]),
+            timeouts=int(data["timeouts"]),
+            retries=int(data["retries"]),
+            failovers=int(data["failovers"]),
+            aborted_jobs=int(data["aborted_jobs"]),
+            cancelled_queries=int(data["cancelled_queries"]),
+            faults=dict(data["faults"]),
+        )

@@ -39,7 +39,8 @@ outcome is surfaced in :class:`~repro.engine.results.RunResult`.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -52,7 +53,12 @@ from repro.engine.events import Event, EventKind
 from repro.engine.executor import BatchExecutor
 from repro.engine.faults import FaultInjector
 from repro.engine.results import RunResult
-from repro.errors import LivelockError, SimTimeExceededError, SimulationError
+from repro.errors import (
+    CoordinatorCrash,
+    LivelockError,
+    SimTimeExceededError,
+    SimulationError,
+)
 from repro.grid.atoms import AtomMapper
 from repro.grid.dataset import DatasetSpec
 from repro.grid.interpolation import InterpolationSpec
@@ -62,7 +68,34 @@ from repro.workload.job import Job
 from repro.workload.query import Query, SubQuery, preprocess_query
 from repro.workload.trace import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - recovery imports engine.events
+    from repro.recovery.checkpoint import CheckpointManager
+
 __all__ = ["Simulator", "build_policy"]
+
+
+class _SingleNodeRouter:
+    """Default ``node_of``: every atom lives on node 0.
+
+    A module-level callable class (not a lambda) so a simulator using
+    the default routing stays picklable for checkpoint snapshots.
+    """
+
+    def __call__(self, atom_id: int) -> int:
+        return 0
+
+
+class _PrimaryOnlyReplicas:
+    """Default ``replicas_of``: the primary owner is the only replica.
+
+    Picklable for the same reason as :class:`_SingleNodeRouter`.
+    """
+
+    def __init__(self, node_of: Callable[[int], int]) -> None:
+        self._node_of = node_of
+
+    def __call__(self, atom_id: int) -> Sequence[int]:
+        return (self._node_of(atom_id),)
 
 
 def build_policy(config: CacheConfig) -> CachePolicy:
@@ -155,12 +188,13 @@ class Simulator:
             _Node(i, s, self.spec, self.config, self.injector, self.sanitizer)
             for i, s in enumerate(schedulers)
         ]
-        self._node_of = node_of or (lambda atom_id: 0)
-        self._replicas_of = replicas_of or (lambda atom_id: (self._node_of(atom_id),))
+        self._node_of = node_of or _SingleNodeRouter()
+        self._replicas_of = replicas_of or _PrimaryOnlyReplicas(self._node_of)
 
         self._heap: list[Event] = []
         self._seq = 0
         self.clock = 0.0
+        self.event_index = 0
         self._last_completion = 0.0
 
         # Query bookkeeping.
@@ -205,6 +239,15 @@ class Simulator:
             self._push(down_t, EventKind.NODE_DOWN, int(node_idx))
             self._push(up_t, EventKind.NODE_UP, int(node_idx))
         self._recovery_times = sorted(up_t for _, _, up_t in faults.node_crashes)
+
+        # Crash-consistent checkpointing (DESIGN.md §8).  The manager is
+        # deliberately NOT part of snapshot state (_capture_state skips
+        # it): it holds open file handles and is rebuilt on restore.
+        self._checkpointer: Optional["CheckpointManager"] = None
+        if self.config.checkpoint.enabled:
+            from repro.recovery.checkpoint import CheckpointManager
+
+            self._checkpointer = CheckpointManager(self.config.checkpoint)
 
     # ------------------------------------------------------------------
     def _push(self, time_: float, kind: EventKind, payload: object) -> None:
@@ -269,10 +312,7 @@ class Simulator:
         if next_up is None:
             raise SimulationError(
                 "no node can serve a sub-query and no recovery is scheduled",
-                clock=now,
-                pending_queries=sorted(self._remaining),
-                queue_depths=[n.scheduler.queue_depth() for n in self.nodes],
-                busy_flags=[n.busy for n in self.nodes],
+                **{**self._diagnostics(), "clock": now},
             )
         self._deferred += 1
         self._push(next_up, EventKind.REROUTE, (sq, arrival))
@@ -281,6 +321,18 @@ class Simulator:
     # Event handlers
     # ------------------------------------------------------------------
     def _dispatch(self, ev: Event) -> None:
+        if self.injector is not None and self.injector.coordinator_crash_due(self.event_index):
+            # Crash BEFORE the write-ahead record: the aborted event is
+            # not in the WAL, so the resumed run re-dispatches it.
+            if self._checkpointer is not None:
+                self._checkpointer.flush()
+            raise CoordinatorCrash(
+                "injected coordinator crash "
+                f"(armed at event {self.injector.crash_at})",
+                **self._diagnostics(),
+            )
+        if self._checkpointer is not None:
+            self._checkpointer.log_event(self, ev)
         if ev.kind is EventKind.JOB_SUBMIT:
             self._on_job_submit(ev.payload, ev.time)
         elif ev.kind is EventKind.QUERY_ARRIVAL:
@@ -300,6 +352,9 @@ class Simulator:
             # Every event handler leaves the engine in a consistent
             # state; sweep all invariants before the next decision.
             self.sanitizer.after_event()
+        self.event_index += 1
+        if self._checkpointer is not None:
+            self._checkpointer.maybe_snapshot(self)
 
     def _on_job_submit(self, job: Job, now: float) -> None:
         self._job_left[job.job_id] = job.n_queries
@@ -500,43 +555,90 @@ class Simulator:
     def _diagnostics(self) -> dict:
         return {
             "clock": self.clock,
+            "event_index": self.event_index,
+            "rng_digest": self.injector.rng_digest() if self.injector is not None else None,
             "pending_queries": sorted(self._remaining),
             "queue_depths": [n.scheduler.queue_depth() for n in self.nodes],
             "busy_flags": [n.busy for n in self.nodes],
         }
 
     def run(self) -> RunResult:
-        """Replay the whole trace; returns the accumulated results."""
-        while True:
-            # Drain every event at the current instant before making
-            # scheduling decisions, so same-time arrivals can batch.
-            while self._heap and self._heap[0].time <= self.clock:
-                self._dispatch(heapq.heappop(self._heap))
-            self._start_batches()
-            if self._heap:
-                ev = heapq.heappop(self._heap)
-                self.clock = ev.time
-                if self.clock > self.config.max_sim_time:
-                    raise SimTimeExceededError(
-                        f"virtual clock exceeded max_sim_time={self.config.max_sim_time}",
-                        **self._diagnostics(),
-                    )
-                self._dispatch(ev)
-                continue
-            if self._any_pending():
-                released = False
-                for node in self.nodes:
-                    if node.up:
-                        released |= node.scheduler.force_release(self.clock)
-                if not released:
-                    raise LivelockError(
-                        "livelock: pending queries but no schedulable work",
-                        **self._diagnostics(),
-                    )
-                self.forced_releases += 1
-                continue
-            break
-        return self._result()
+        """Replay the whole trace; returns the accumulated results.
+
+        Safe to call on a freshly constructed simulator or on one
+        rebuilt by :meth:`restore` — snapshots are taken only at points
+        where resuming the loop from the top is equivalent to the
+        original continuation.
+        """
+        if self._checkpointer is not None:
+            self._checkpointer.start(self)
+        try:
+            while True:
+                # Drain every event at the current instant before making
+                # scheduling decisions, so same-time arrivals can batch.
+                while self._heap and self._heap[0].time <= self.clock:
+                    self._dispatch(heapq.heappop(self._heap))
+                self._start_batches()
+                if self._heap:
+                    ev = heapq.heappop(self._heap)
+                    self.clock = ev.time
+                    if self.clock > self.config.max_sim_time:
+                        raise SimTimeExceededError(
+                            f"virtual clock exceeded max_sim_time={self.config.max_sim_time}",
+                            **self._diagnostics(),
+                        )
+                    self._dispatch(ev)
+                    continue
+                if self._any_pending():
+                    released = False
+                    for node in self.nodes:
+                        if node.up:
+                            released |= node.scheduler.force_release(self.clock)
+                    if not released:
+                        raise LivelockError(
+                            "livelock: pending queries but no schedulable work",
+                            **self._diagnostics(),
+                        )
+                    self.forced_releases += 1
+                    continue
+                break
+            return self._result()
+        finally:
+            if self._checkpointer is not None:
+                self._checkpointer.flush()
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(cls, directory: str | Path) -> "Simulator":
+        """Rebuild a simulator from the latest snapshot in ``directory``.
+
+        Loads the newest snapshot (format version + checksums verified
+        by the codec), reattaches the sanitizer, disarms any still-armed
+        coordinator crash so the resumed run does not immediately die
+        again, and re-runs the workload-queue and gating-graph
+        consistency audits before returning.  The returned simulator's
+        :meth:`run` first *replays* the write-ahead log — every
+        re-dispatched event is verified against its pre-crash WAL record
+        — then continues past the crash point.  Determinism makes the
+        final :class:`RunResult` bit-identical to an uninterrupted run.
+
+        Raises :class:`~repro.errors.RecoveryError` when no snapshot
+        exists or any artifact fails validation.
+        """
+        from repro.recovery.checkpoint import CheckpointManager, verify_restored_state
+
+        _meta, state, manager = CheckpointManager.load_latest(directory)
+        sim = object.__new__(cls)
+        sim.__dict__.update(state)
+        sim._checkpointer = manager
+        if sim.sanitizer is not None:
+            sim.sanitizer.attach(sim)
+        if sim.injector is not None:
+            sim.injector.disarm_coordinator_crash()
+        verify_restored_state(sim)
+        return sim
 
     # ------------------------------------------------------------------
     def _result(self) -> RunResult:

@@ -3,9 +3,10 @@
 Every failure mode the engine can hit deliberately is a subclass of
 :class:`SimulationError`, which itself subclasses ``RuntimeError`` so
 existing ``except RuntimeError`` call sites keep working.  Each error
-carries a diagnostics snapshot (virtual clock, pending query ids,
-per-node queue depths and busy flags) so a failing run can be triaged
-without re-running under a debugger.
+carries a diagnostics snapshot (virtual clock, dispatched-event count,
+fault-injector RNG digest, pending query ids, per-node queue depths
+and busy flags) so a failing run can be triaged — and its replay
+position pinpointed — without re-running under a debugger.
 """
 
 from __future__ import annotations
@@ -17,6 +18,8 @@ __all__ = [
     "LivelockError",
     "SimTimeExceededError",
     "InvariantViolation",
+    "CoordinatorCrash",
+    "RecoveryError",
 ]
 
 #: How many pending query ids to embed in the rendered message.
@@ -30,6 +33,16 @@ class SimulationError(RuntimeError):
     ----------
     clock:
         Virtual time at which the error was raised.
+    event_index:
+        Number of events the engine had dispatched when the error was
+        raised — the exact replay position of the failure (a
+        deterministic re-run reaches the same state after the same
+        count).
+    rng_digest:
+        Short digest of the fault injector's RNG state at the time of
+        the error (``None`` when fault injection is off).  Two runs
+        that diverge show different digests at the first divergent
+        event, which localizes nondeterminism bugs.
     pending_queries:
         Ids of queries that had arrived but not completed/cancelled.
     queue_depths:
@@ -43,19 +56,25 @@ class SimulationError(RuntimeError):
         message: str,
         *,
         clock: float = 0.0,
+        event_index: int = 0,
+        rng_digest: Optional[str] = None,
         pending_queries: Sequence[int] = (),
         queue_depths: Sequence[int] = (),
         busy_flags: Sequence[bool] = (),
     ) -> None:
         self.clock = clock
+        self.event_index = event_index
+        self.rng_digest = rng_digest
         self.pending_queries = list(pending_queries)
         self.queue_depths = list(queue_depths)
         self.busy_flags = list(busy_flags)
         shown = self.pending_queries[:_MAX_IDS_SHOWN]
         more = len(self.pending_queries) - len(shown)
         suffix = f" (+{more} more)" if more > 0 else ""
+        rng = f", rng={rng_digest}" if rng_digest is not None else ""
         super().__init__(
-            f"{message} [clock={clock:.6g}s, pending_queries={shown}{suffix}, "
+            f"{message} [clock={clock:.6g}s, event={event_index}{rng}, "
+            f"pending_queries={shown}{suffix}, "
             f"queue_depths={self.queue_depths}, busy={self.busy_flags}]"
         )
 
@@ -66,6 +85,30 @@ class LivelockError(SimulationError):
 
 class SimTimeExceededError(SimulationError):
     """The virtual clock overran ``EngineConfig.max_sim_time``."""
+
+
+class CoordinatorCrash(SimulationError):
+    """An injected ``coordinator_crash`` fault aborted the run.
+
+    Raised by the engine immediately before dispatching the event whose
+    index matches the armed crash point
+    (``FaultConfig.coordinator_crash_at`` /
+    ``coordinator_crash_window``), modeling the coordinator process
+    dying mid-run.  State persisted by the checkpoint subsystem up to
+    this point is intact; ``Simulator.restore`` resumes from it.
+    """
+
+
+class RecoveryError(SimulationError):
+    """Checkpoint recovery failed.
+
+    Raised by the recovery subsystem (:mod:`repro.recovery`) when a
+    snapshot cannot be trusted: unknown or mismatched snapshot format
+    version, corrupt or truncated snapshot payload (CRC failure),
+    corrupt or truncated write-ahead log, a replayed event diverging
+    from its WAL record, or restored engine state failing the
+    consistency audits re-run before resuming.
+    """
 
 
 class InvariantViolation(SimulationError):
@@ -94,6 +137,8 @@ class InvariantViolation(SimulationError):
         message: str,
         *,
         clock: float = 0.0,
+        event_index: int = 0,
+        rng_digest: Optional[str] = None,
         pending_queries: Sequence[int] = (),
         queue_depths: Sequence[int] = (),
         busy_flags: Sequence[bool] = (),
@@ -105,6 +150,8 @@ class InvariantViolation(SimulationError):
         super().__init__(
             f"invariant {invariant!r} violated: {message}{detail_str}",
             clock=clock,
+            event_index=event_index,
+            rng_digest=rng_digest,
             pending_queries=pending_queries,
             queue_depths=queue_depths,
             busy_flags=busy_flags,

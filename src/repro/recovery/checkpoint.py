@@ -1,0 +1,281 @@
+"""Checkpoint orchestration: snapshot policy, WAL rotation, recovery.
+
+One :class:`CheckpointManager` is attached to a
+:class:`~repro.engine.simulator.Simulator` when
+``EngineConfig.checkpoint`` is enabled.  Lifecycle:
+
+* ``start`` — writes the *genesis* snapshot (event 0) so recovery is
+  possible from any crash point, however early;
+* ``log_event`` — called before every event handler (write-ahead):
+  appends a CRC-guarded record to the current WAL segment, or, on a
+  resumed run, verifies the re-dispatched event against the next
+  pre-crash record;
+* ``maybe_snapshot`` — called after every event handler: when the
+  policy fires (every N events and/or T virtual seconds) it writes a
+  new snapshot, rotates the WAL, and prunes old generations.
+
+``load_latest`` + :func:`verify_restored_state` implement the resume
+side used by ``Simulator.restore``: pick the newest snapshot, decode it
+(version + CRC checked by the codec), read its WAL segment, and — once
+the simulator object is rebuilt — re-run the workload-queue and
+gating-graph consistency audits from the simulation sanitizer before a
+single new event executes.  Recovery refuses
+(:class:`~repro.errors.RecoveryError`) rather than resume from state it
+cannot prove consistent.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.config import CheckpointConfig
+from repro.engine.events import Event
+from repro.errors import RecoveryError
+from repro.recovery.codec import SNAPSHOT_FORMAT_VERSION, decode_snapshot, encode_snapshot
+from repro.recovery.wal import WalRecord, WalWriter, make_record, read_wal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.engine.simulator import Simulator
+
+__all__ = ["CheckpointManager", "verify_restored_state"]
+
+#: Simulator attributes every restorable snapshot must contain; a
+#: snapshot missing any of them predates the current engine layout.
+_REQUIRED_STATE_KEYS = (
+    "trace",
+    "config",
+    "nodes",
+    "injector",
+    "sanitizer",
+    "clock",
+    "event_index",
+    "_heap",
+    "_seq",
+    "_remaining",
+    "_arrival",
+    "_response_times",
+)
+
+
+def _snapshot_name(event_index: int) -> str:
+    return f"snapshot-{event_index:09d}.ckpt"
+
+
+def _wal_name(event_index: int) -> str:
+    return f"wal-{event_index:09d}.log"
+
+
+def _capture_state(sim: "Simulator") -> Dict[str, Any]:
+    """The simulator's complete mutable state, minus the manager itself
+    (it holds open file handles and is rebuilt on restore).  Captured
+    as ONE mapping pickled in one pass, so shared references — the
+    in-flight batch held by both a node and its pending ``BATCH_DONE``
+    event, sub-queries shared between heap payloads and queues — keep
+    their identity through the round trip."""
+    return {key: value for key, value in vars(sim).items() if key != "_checkpointer"}
+
+
+def _snapshot_meta(sim: "Simulator") -> Dict[str, Any]:
+    injector = sim.injector
+    return {
+        "format": SNAPSHOT_FORMAT_VERSION,
+        "event_index": sim.event_index,
+        "clock": sim.clock,
+        "clock_hex": float(sim.clock).hex(),
+        "scheduler": sim.nodes[0].scheduler.name,
+        "n_nodes": len(sim.nodes),
+        "completed_queries": sim._completed,
+        "rng_digest": injector.rng_digest() if injector is not None else None,
+    }
+
+
+def verify_restored_state(sim: "Simulator") -> None:
+    """Audit a freshly restored simulator before it resumes.
+
+    Re-runs the simulation sanitizer's structural checks wholesale:
+    :meth:`~repro.core.queues.WorkloadQueues.check_consistency` on
+    every node's workload queues, and the precedence graph's
+    :meth:`~repro.core.gating.PrecedenceGraph.validate` (which includes
+    the gating-number fixed-point check) plus acyclicity.  Raises
+    :class:`~repro.errors.RecoveryError` listing every problem found.
+    """
+    problems: List[str] = []
+    for idx, node in enumerate(sim.nodes):
+        queues = getattr(node.scheduler, "queues", None)
+        if queues is not None:
+            problems.extend(f"node {idx}: {p}" for p in queues.check_consistency())
+        gating = getattr(node.scheduler, "_gating", None)
+        if gating is not None:
+            graph = gating.graph
+            problems.extend(f"node {idx}: {p}" for p in graph.validate())
+            if not graph.is_acyclic():
+                problems.append(f"node {idx}: contracted gating-group graph has a cycle")
+    if problems:
+        raise RecoveryError(
+            "restored state failed the consistency audit: " + "; ".join(problems),
+            clock=sim.clock,
+            event_index=sim.event_index,
+            rng_digest=sim.injector.rng_digest() if sim.injector is not None else None,
+            pending_queries=sorted(sim._remaining),
+        )
+
+
+class CheckpointManager:
+    """Drives snapshots and the WAL for one simulator."""
+
+    def __init__(self, config: CheckpointConfig) -> None:
+        if not config.enabled:
+            raise ValueError("CheckpointConfig is not enabled (directory + policy required)")
+        assert config.directory is not None
+        self.config = config
+        self.directory = Path(config.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._last_snapshot_event = 0
+        self._last_snapshot_clock = 0.0
+        self._has_snapshot = False
+        self._wal_path: Optional[Path] = None
+        self._writer: Optional[WalWriter] = None
+        # Resume-mode replay queue: pre-crash records still to verify.
+        self._replay: List[WalRecord] = []
+        self._replay_pos = 0
+
+    # ------------------------------------------------------------------
+    # Forward path (fresh and resumed runs)
+    # ------------------------------------------------------------------
+    @property
+    def replaying(self) -> bool:
+        """True while pre-crash WAL records remain to be verified."""
+        return self._replay_pos < len(self._replay)
+
+    @property
+    def wal_events_replayed(self) -> int:
+        """Pre-crash events re-verified so far (diagnostics)."""
+        return self._replay_pos
+
+    def start(self, sim: "Simulator") -> None:
+        """Write the genesis snapshot on a fresh run (no-op on resume)."""
+        if not self._has_snapshot:
+            self._snapshot(sim)
+
+    def log_event(self, sim: "Simulator", ev: Event) -> None:
+        """Write-ahead hook: called immediately before dispatching."""
+        record = make_record(sim.event_index, ev)
+        if self.replaying:
+            expected = self._replay[self._replay_pos]
+            if record != expected:
+                raise RecoveryError(
+                    f"replay diverged from the WAL at {expected.describe()}: "
+                    f"the deterministic re-run produced {record.describe()} "
+                    f"(fingerprint {record.fingerprint} != {expected.fingerprint})",
+                    clock=sim.clock,
+                    event_index=sim.event_index,
+                )
+            self._replay_pos += 1
+            return
+        self._append(record)
+
+    def maybe_snapshot(self, sim: "Simulator") -> None:
+        """Policy hook: called after every dispatched event."""
+        if self.replaying:
+            # Snapshot points inside the replayed span were already
+            # persisted pre-crash; rewriting them mid-replay would
+            # rotate the WAL segment out from under the verification.
+            return
+        cfg = self.config
+        due = False
+        if cfg.every_events is not None:
+            due = sim.event_index - self._last_snapshot_event >= cfg.every_events
+        if not due and cfg.every_seconds is not None:
+            due = sim.clock - self._last_snapshot_clock >= cfg.every_seconds
+        if due:
+            self._snapshot(sim)
+
+    def flush(self) -> None:
+        if self._writer is not None:
+            self._writer.flush()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    # ------------------------------------------------------------------
+    def _append(self, record: WalRecord) -> None:
+        if self._writer is None:
+            # Resumed run past the end of the replayed records: continue
+            # appending to the same pre-crash segment.
+            if self._wal_path is None:  # pragma: no cover - defensive
+                raise RecoveryError("WAL segment unknown; manager not started")
+            self._writer = WalWriter(self._wal_path, append=True)
+        self._writer.append(record)
+
+    def _snapshot(self, sim: "Simulator") -> None:
+        path = self.directory / _snapshot_name(sim.event_index)
+        blob = encode_snapshot(_snapshot_meta(sim), _capture_state(sim))
+        tmp = path.with_suffix(".ckpt.tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+        # Rotate the WAL: records before this snapshot are superseded.
+        if self._writer is not None:
+            self._writer.close()
+        self._wal_path = self.directory / _wal_name(sim.event_index)
+        self._writer = WalWriter(self._wal_path, append=False)
+        self._last_snapshot_event = sim.event_index
+        self._last_snapshot_clock = sim.clock
+        self._has_snapshot = True
+        self._prune()
+
+    def _prune(self) -> None:
+        snapshots = sorted(self.directory.glob("snapshot-*.ckpt"))
+        for stale in snapshots[: -self.config.keep]:
+            index_text = stale.stem.rpartition("-")[2]
+            stale.unlink(missing_ok=True)
+            (self.directory / f"wal-{index_text}.log").unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Recovery path
+    # ------------------------------------------------------------------
+    @classmethod
+    def load_latest(
+        cls, directory: str | Path
+    ) -> Tuple[Dict[str, Any], Dict[str, Any], "CheckpointManager"]:
+        """Load the newest snapshot and its WAL from ``directory``.
+
+        Returns ``(meta, state, manager)`` where ``manager`` is primed
+        in resume mode (replay queue loaded, WAL segment selected).
+        Raises :class:`~repro.errors.RecoveryError` when no snapshot
+        exists or any artifact fails validation.
+        """
+        directory = Path(directory)
+        snapshots = sorted(directory.glob("snapshot-*.ckpt"))
+        if not snapshots:
+            raise RecoveryError(f"no snapshots found in {directory}")
+        latest = snapshots[-1]
+        meta, state = decode_snapshot(latest.read_bytes())
+        missing = [key for key in _REQUIRED_STATE_KEYS if key not in state]
+        if missing:
+            raise RecoveryError(
+                f"snapshot {latest.name} lacks required state keys: {missing}"
+            )
+        event_index = int(meta.get("event_index", -1))
+        if event_index != int(state["event_index"]):
+            raise RecoveryError(
+                f"snapshot {latest.name}: header event index {event_index} "
+                f"disagrees with state {state['event_index']}"
+            )
+        wal_path = directory / _wal_name(event_index)
+        replay = read_wal(wal_path, event_index)
+        config = state["config"].checkpoint
+        if not config.enabled:  # pragma: no cover - snapshots imply enabled
+            raise RecoveryError("snapshot was written without checkpointing enabled")
+        manager = cls(config)
+        manager.directory = directory  # resume where the files live
+        manager._last_snapshot_event = event_index
+        manager._last_snapshot_clock = float(state["clock"])
+        manager._has_snapshot = True
+        manager._wal_path = wal_path
+        manager._replay = replay
+        manager._replay_pos = 0
+        return meta, state, manager

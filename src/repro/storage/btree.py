@@ -16,7 +16,7 @@ sequential.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional
 
 __all__ = ["BPlusTree"]
 
@@ -158,6 +158,56 @@ class BPlusTree:
             d += 1
             node = node.children[0]
         return d
+
+    # ------------------------------------------------------------------
+    # Pickling (checkpoint snapshots)
+    # ------------------------------------------------------------------
+    # Default pickling would recurse once per node through the child
+    # pointers AND once per leaf through the ``next_leaf`` chain —
+    # thousands of frames at realistic atom counts, i.e. a guaranteed
+    # RecursionError.  Flatten to an index-linked node table instead.
+    # The exact node layout must survive (not rebuilt by reinsertion):
+    # a key's leaf position is its physical disk address, which the
+    # disk model's sequential-read detection depends on.
+    def __getstate__(self) -> dict[str, Any]:
+        nodes: list[_Node] = []
+        index: dict[int, int] = {}
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if id(node) in index:
+                continue
+            index[id(node)] = len(nodes)
+            nodes.append(node)
+            stack.extend(node.children)
+        packed = [
+            (
+                node.is_leaf,
+                node.keys,
+                [index[id(child)] for child in node.children],
+                node.values,
+                -1 if node.next_leaf is None else index[id(node.next_leaf)],
+            )
+            for node in nodes
+        ]
+        return {
+            "order": self._order,
+            "size": self._size,
+            "root": index[id(self._root)],
+            "nodes": packed,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._order = state["order"]
+        self._size = state["size"]
+        packed = state["nodes"]
+        nodes = [_Node(is_leaf=entry[0]) for entry in packed]
+        for node, (_, keys, children, values, next_leaf) in zip(nodes, packed):
+            node.keys = keys
+            node.children = [nodes[i] for i in children]
+            node.values = values
+            node.next_leaf = None if next_leaf < 0 else nodes[next_leaf]
+        self._root = nodes[state["root"]]
 
     @staticmethod
     def build_clustered(n_keys: int, order: int = 64) -> "BPlusTree":

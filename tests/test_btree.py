@@ -120,3 +120,46 @@ class TestProperties:
             tree.insert(k, k)
         expected = sorted(k for k in keys if lo <= k < hi)
         assert [k for k, _ in tree.range(lo, hi)] == expected
+
+
+class TestPickling:
+    def _leaf_chain(self, tree):
+        node = tree._root
+        while not node.is_leaf:
+            node = node.children[0]
+        out = []
+        while node is not None:
+            out.append((tuple(node.keys), tuple(node.values)))
+            node = node.next_leaf
+        return out
+
+    def test_roundtrip_preserves_exact_layout(self):
+        import pickle
+
+        tree = BPlusTree.build_clustered(5000)
+        clone = pickle.loads(pickle.dumps(tree))
+        assert len(clone) == len(tree)
+        assert clone.depth() == tree.depth()
+        assert list(clone.range(0, 5000)) == list(tree.range(0, 5000))
+        # Leaf positions ARE physical addresses: the node layout must
+        # survive bit-exactly, not merely the key/value mapping.
+        assert self._leaf_chain(clone) == self._leaf_chain(tree)
+
+    def test_deep_tree_does_not_hit_recursion_limit(self):
+        import pickle
+
+        # Far more leaves than the default recursion limit; default
+        # (recursive) pickling of the next_leaf chain would blow up.
+        tree = BPlusTree.build_clustered(120_000)
+        assert len(self._leaf_chain(tree)) > 2000
+        clone = pickle.loads(pickle.dumps(tree))
+        assert clone.get(119_999) == 119_999
+
+    def test_restored_tree_stays_mutable(self):
+        import pickle
+
+        tree = BPlusTree.build_clustered(500)
+        clone = pickle.loads(pickle.dumps(tree))
+        clone.insert(10_000, 1)
+        assert clone.get(10_000) == 1
+        assert len(clone) == 501

@@ -1,0 +1,69 @@
+"""Chaos soak: random coordinator-crash points, resumed, bit-identical.
+
+For each scheduler family (JAWS, LifeRaft, NoShare) we draw seeded
+random crash points spanning the whole run, kill the coordinator at
+each, resume from the checkpoints, and assert the recovered
+:class:`RunResult` is bit-identical to the uninterrupted same-seed run
+— with fault injection active and the runtime sanitizer sweeping
+invariants after every event on both sides.  ≥ 20 crash points total.
+
+Slow-marked: excluded from the default pytest run (tier-1); executed by
+the CI ``chaos-soak`` job via ``pytest -m slow``.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.config import CheckpointConfig, FaultConfig
+from repro.engine.runner import make_scheduler
+from repro.engine.simulator import Simulator
+from repro.errors import CoordinatorCrash
+
+from tests.test_determinism import assert_identical, engine, small_trace
+
+pytestmark = pytest.mark.slow
+
+#: 7 crash points per scheduler x 3 schedulers = 21 crash/resume cycles.
+POINTS_PER_SCHEDULER = 7
+
+FAULTS = FaultConfig(
+    seed=11,
+    transient_fault_rate=0.05,
+    permanent_loss_rate=0.01,
+    slow_read_rate=0.05,
+)
+
+
+def build_sim(trace, name, *, checkpoint=None, crash_at=None):
+    faults = dataclasses.replace(FAULTS, coordinator_crash_at=crash_at)
+    cfg = engine(
+        faults=faults,
+        checkpoint=checkpoint or CheckpointConfig(),
+        sanitize=True,
+    )
+    return Simulator(trace, [make_scheduler(name, trace, cfg)], cfg)
+
+
+@pytest.mark.parametrize("name", ["jaws2", "liferaft2", "noshare"])
+def test_random_crash_points_resume_bit_identical(tmp_path, name):
+    trace = small_trace()
+    baseline_sim = build_sim(trace, name)
+    baseline = baseline_sim.run()
+    total_events = baseline_sim.event_index
+    assert total_events > POINTS_PER_SCHEDULER
+
+    rng = random.Random(f"chaos-soak:{name}")
+    points = rng.sample(range(1, total_events), POINTS_PER_SCHEDULER)
+    for crash_at in points:
+        ckpt_dir = tmp_path / f"{name}-{crash_at}"
+        checkpoint = CheckpointConfig(directory=str(ckpt_dir), every_events=25)
+        sim = build_sim(trace, name, checkpoint=checkpoint, crash_at=crash_at)
+        with pytest.raises(CoordinatorCrash):
+            sim.run()
+        resumed = Simulator.restore(ckpt_dir)
+        assert resumed.event_index <= crash_at
+        result = resumed.run()
+        assert resumed.event_index == total_events
+        assert_identical(baseline, result)

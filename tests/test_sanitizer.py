@@ -266,6 +266,8 @@ def test_gating_acyclicity_violation_fires():
 
     class _StubSim:
         clock = 0.0
+        event_index = 0
+        injector = None
         _remaining = {}
         _heap = ()
 
