@@ -20,6 +20,11 @@ Checked invariants (DESIGN.md §7 lists them with their rationale):
     the system (workload queues + gating holds + in-flight batches +
     parked REROUTE events): arrived = pending + in-flight + completed
     + cancelled, per query.
+``shed_conservation``
+    Every admitted query lands in exactly one bucket at all times:
+    ``admitted = completed + cancelled + shed + pending``.  Checked on
+    every run (shed is zero without overload protection), so overload
+    shedding cannot silently lose or double-count a query.
 ``queue_coherence``
     Every node's :class:`~repro.core.queues.WorkloadQueues` slot map is
     internally consistent (slot bijection, position counts, cached
@@ -158,6 +163,7 @@ class SimulationSanitizer:
         self.checks += 1
         self._check_clock()
         self._check_conservation()
+        self._check_shed_conservation()
         self._check_queues()
         self._check_gating()
 
@@ -219,6 +225,28 @@ class SimulationSanitizer:
                 "subquery_conservation",
                 "sub-queries of completed/cancelled queries are still queued",
                 {"orphan_query_ids": orphans},
+            )
+
+    # -- shed conservation ----------------------------------------------------
+    def _check_shed_conservation(self) -> None:
+        """Every admitted query is in exactly one terminal or live
+        bucket: ``admitted == completed + cancelled + shed + pending``.
+        Holds with or without overload protection (shed is zero in
+        unprotected runs), so a lost or double-counted query is caught
+        at the very event that corrupts the books."""
+        sim = self._sim
+        accounted = sim._completed + sim._cancelled + sim._shed + len(sim._remaining)
+        if sim._admitted != accounted:
+            self._raise(
+                "shed_conservation",
+                "admitted != completed + cancelled + shed + pending",
+                {
+                    "admitted": sim._admitted,
+                    "completed": sim._completed,
+                    "cancelled": sim._cancelled,
+                    "shed": sim._shed,
+                    "pending": len(sim._remaining),
+                },
             )
 
     # -- workload-queue coherence -------------------------------------------

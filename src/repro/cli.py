@@ -9,8 +9,10 @@ repro.cli``::
     repro run --trace trace.npz --nodes 4 --disk-fault-rate 0.05 \
         --replication 2 --crash 1:100:600
     repro run --trace trace.npz --checkpoint-dir ckpt --crash-at-event 500
+    repro run --trace trace.npz --overload --max-queue-depth 200 --client-rate 2
     repro resume --dir ckpt
     repro compare --trace trace.npz
+    repro overload --trace trace.npz --flash-crowd 10
     repro experiment fig10 --scale small
     repro lint src tests
 """
@@ -23,7 +25,13 @@ import sys
 from typing import Optional, Sequence
 
 from repro.cluster.cluster import run_cluster
-from repro.config import CheckpointConfig, EngineConfig, FaultConfig
+from repro.config import (
+    SHED_POLICIES,
+    CheckpointConfig,
+    EngineConfig,
+    FaultConfig,
+    OverloadConfig,
+)
 from repro.engine.results import RunResult
 from repro.engine.runner import SCHEDULER_NAMES, run_trace
 from repro.errors import CoordinatorCrash, RecoveryError
@@ -79,6 +87,39 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         help="kill the coordinator before dispatching event N "
         "(recover with 'repro resume' when checkpointing is on)",
     )
+
+
+def _add_overload_args(parser: argparse.ArgumentParser) -> None:
+    grp = parser.add_argument_group("overload protection")
+    grp.add_argument(
+        "--max-queue-depth", type=int, default=400, metavar="N",
+        help="bounded per-node queue: max pending sub-query slots per node",
+    )
+    grp.add_argument(
+        "--client-rate", type=float, default=4.0, metavar="R",
+        help="per-client token-bucket refill, job admissions per engine second",
+    )
+    grp.add_argument(
+        "--client-burst", type=float, default=8.0, metavar="B",
+        help="per-client token-bucket burst capacity",
+    )
+    grp.add_argument(
+        "--shed-policy", choices=list(SHED_POLICIES), default="deadline",
+        help="victim selection when pending work must be dropped",
+    )
+
+
+def _overload_config(args: argparse.Namespace) -> OverloadConfig:
+    try:
+        return OverloadConfig(
+            enabled=True,
+            max_queue_depth=args.max_queue_depth,
+            client_rate=args.client_rate,
+            client_burst=args.client_burst,
+            shed_policy=args.shed_policy,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid overload configuration: {exc}") from None
 
 
 def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
@@ -139,6 +180,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--cache", choices=["lru", "lruk", "slru", "urc"], default=None)
     run_p.add_argument("--speedup", type=float, default=1.0)
     run_p.add_argument("--nodes", type=int, default=1, help="cluster size")
+    run_p.add_argument(
+        "--overload", action="store_true",
+        help="enable overload protection (admission control, shedding, brownout)",
+    )
+    _add_overload_args(run_p)
     _add_fault_args(run_p)
     ckpt = run_p.add_argument_group("crash-consistent checkpointing")
     ckpt.add_argument(
@@ -168,6 +214,28 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--speedup", type=float, default=1.0)
     cmp_p.add_argument("--nodes", type=int, default=1, help="cluster size")
     _add_fault_args(cmp_p)
+
+    ov_p = sub.add_parser(
+        "overload",
+        help="flash-crowd demonstration: baseline vs unprotected vs protected",
+    )
+    ov_p.add_argument("--trace", required=True)
+    ov_p.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="jaws2")
+    ov_p.add_argument("--speedup", type=float, default=1.0)
+    ov_p.add_argument(
+        "--flash-crowd", type=float, default=10.0, metavar="F",
+        help="burst load as a multiple of the base arrival rate (default 10x)",
+    )
+    ov_p.add_argument(
+        "--burst-start", type=float, default=None, metavar="T",
+        help="burst window start, engine seconds (default: 25%% into the trace)",
+    )
+    ov_p.add_argument(
+        "--burst-duration", type=float, default=None, metavar="D",
+        help="burst window length, engine seconds (default: 10%% of the trace span)",
+    )
+    ov_p.add_argument("--burst-seed", type=int, default=7, help="burst RNG seed")
+    _add_overload_args(ov_p)
 
     exp_p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -259,13 +327,23 @@ def _run_one(
     return run_trace(trace, name, engine)
 
 
-def _print_result(result: RunResult, degraded: bool) -> None:
+def _print_result(result: RunResult, degraded: bool, protected: bool = False) -> None:
     for key, value in result.summary().items():
         print(f"  {key}: {value if isinstance(value, str) else round(value, 4)}")
     if degraded:
         print("  -- degraded-mode outcomes --")
         for key, value in result.fault_summary().items():
             print(f"  {key}: {round(value, 4)}")
+    if protected:
+        print("  -- overload protection --")
+        for key, value in result.overload_summary().items():
+            print(f"  {key}: {round(value, 4)}")
+        for mode, seconds in result.overload.get("time_in_mode", {}).items():
+            print(f"  time_{mode.lower()}: {round(seconds, 1)}s")
+        for cls, pct in result.class_percentiles().items():
+            print(
+                f"  {cls}: n={int(pct['n'])} p50={pct['p50']:.3f}s p99={pct['p99']:.3f}s"
+            )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -273,8 +351,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.speedup != 1.0:
         trace = trace.rescale(args.speedup)
     faults = _fault_config(args)
+    engine = _run_engine(args)
+    if args.overload:
+        engine = dataclasses.replace(engine, overload=_overload_config(args))
     try:
-        result = _run_one(trace, args.scheduler, _run_engine(args), faults, args.nodes)
+        result = _run_one(trace, args.scheduler, engine, faults, args.nodes)
     except CoordinatorCrash as exc:
         print(f"coordinator crashed: {exc}", file=sys.stderr)
         if getattr(args, "checkpoint_dir", None):
@@ -288,7 +369,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 3
-    _print_result(result, degraded=faults is not None)
+    _print_result(result, degraded=faults is not None, protected=args.overload)
+    return 0
+
+
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from repro.workload.generator import FlashCrowdParams, inject_flash_crowd
+
+    base = Trace.load(args.trace)
+    if args.speedup != 1.0:
+        base = base.rescale(args.speedup)
+    span = max(base.span, 1.0)
+    start = args.burst_start if args.burst_start is not None else 0.25 * span
+    duration = args.burst_duration if args.burst_duration is not None else 0.10 * span
+    try:
+        burst = inject_flash_crowd(
+            base,
+            FlashCrowdParams(
+                factor=args.flash_crowd,
+                start=start,
+                duration=duration,
+                seed=args.burst_seed,
+            ),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid flash-crowd parameters: {exc}") from None
+    engine = standard_engine()
+    protected_engine = dataclasses.replace(engine, overload=_overload_config(args))
+    print(
+        f"flash crowd: {args.flash_crowd:g}x for {duration:.0f}s starting at "
+        f"{start:.0f}s ({burst.n_jobs - base.n_jobs} burst jobs on "
+        f"{base.n_jobs} base jobs)"
+    )
+    rows = []
+    for label, trace, eng in (
+        ("baseline (no burst)", base, engine),
+        ("burst, unprotected", burst, engine),
+        ("burst, protected", burst, protected_engine),
+    ):
+        result = run_trace(trace, args.scheduler, eng)
+        pct = result.class_percentiles().get("interactive", {"p50": 0.0, "p99": 0.0})
+        rows.append(
+            (
+                label,
+                result.n_queries,
+                result.rejected_jobs,
+                result.shed_queries,
+                pct["p50"],
+                pct["p99"],
+            )
+        )
+        if eng.overload.enabled:
+            modes = result.overload.get("time_in_mode", {})
+            spent = ", ".join(
+                f"{m.lower()} {s:.0f}s" for m, s in modes.items() if s > 0
+            )
+            print(f"  [{label}] modes: {spent or 'normal only'}")
+    print(
+        render_table(
+            ["run", "completed", "rejected", "shed", "int_p50_s", "int_p99_s"], rows
+        )
+    )
+    base_p99 = rows[0][5]
+    if base_p99 > 0:
+        print(
+            f"interactive p99 vs baseline: unprotected {rows[1][5] / base_p99:.1f}x, "
+            f"protected {rows[2][5] / base_p99:.1f}x"
+        )
     return 0
 
 
@@ -382,6 +529,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_resume(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "overload":
+        return _cmd_overload(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_experiment(args)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "CostModel",
     "CacheConfig",
@@ -19,6 +21,7 @@ __all__ = [
     "SchedulerConfig",
     "FaultConfig",
     "CheckpointConfig",
+    "OverloadConfig",
     "EngineConfig",
 ]
 
@@ -389,6 +392,151 @@ class CheckpointConfig:
         return replace(self, **kwargs)
 
 
+#: Shed-policy names accepted by ``OverloadConfig.shed_policy``.
+SHED_POLICIES = ("reject-newest", "low-density", "deadline")
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Overload-protection knobs (admission control, load shedding,
+    brownout, weighted fair quotas — DESIGN.md §9).
+
+    The default instance is disabled and adds zero cost: the engine
+    bypasses the entire overload path when :attr:`enabled` is False.
+    All control decisions run on the virtual clock with no randomness,
+    so same-seed runs — including crash+resume — stay bit-identical.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch for the overload subsystem.
+    client_rate / client_burst:
+        Per-client token bucket: ``client_rate`` job admissions per
+        virtual second refill, up to ``client_burst`` banked tokens.
+        One *job* costs one token (admission is job-granular so an
+        ordered job is never half-admitted).  A client whose bucket is
+        empty is rejected with ``reason="rate_limit"`` and a
+        deterministic ``retry_after`` equal to the refill time of the
+        missing fraction.
+    max_queue_depth:
+        Bounded per-node workload queue: the maximum pending sub-query
+        slots (queued + gating-held) one node may hold.  An arrival
+        that would overflow a node triggers the shed policy to evict
+        pending work (possibly the arriving query itself).
+    shed_policy:
+        Victim selection among pending queries when room must be made:
+        ``"reject-newest"`` drops the most recently arrived,
+        ``"low-density"`` drops the lowest workload density (positions
+        per touched atom — the least sharing value per unit of I/O)
+        first, and ``"deadline"`` drops queries whose proportional
+        deadline (``arrival + slack_factor x estimated service``,
+        reusing the QoS-JAWS estimate) provably cannot be met even if
+        scheduled immediately.  All policies shed lighter-weighted
+        client classes first.
+    slack_factor:
+        Proportional-deadline multiplier for the ``"deadline"`` policy
+        (same semantics as ``QoSJAWSScheduler.slack_factor``).
+    control_interval:
+        Virtual seconds between brownout control-loop ticks
+        (``OVERLOAD_TICK`` events).
+    ewma_beta:
+        EWMA smoothing of the load signal: ``ewma = beta * ewma +
+        (1 - beta) * sample``.  Larger = smoother, slower to react.
+    target_response_time:
+        Normalizer for the response-time component of the load signal;
+        a smoothed response time equal to this value saturates the
+        signal.  ``None`` drives brownout from queue depth alone.
+    throttle_enter / throttle_exit / shed_enter / shed_exit:
+        Hysteresis thresholds on the smoothed load signal (fraction of
+        cluster queue capacity): NORMAL -> THROTTLED at
+        ``throttle_enter``, back at ``throttle_exit``; THROTTLED ->
+        SHEDDING at ``shed_enter``, back at ``shed_exit``.  In
+        THROTTLED mode batch-class jobs are refused (interactive
+        traffic keeps flowing); SHEDDING mode additionally sheds
+        pending work down to ``shed_target`` each tick.
+    shed_target:
+        Queue-capacity fraction SHEDDING mode drains to at each tick.
+    class_weights:
+        Weighted fair quotas on pending sub-query slots per client
+        class, as ``(class, weight)`` pairs.  Class ``c`` is entitled
+        to ``weight_c / sum(weights)`` of cluster queue capacity; once
+        global utilization reaches :attr:`quota_enforce_fraction`, a
+        class over its quota has further arrivals shed
+        (``reason="quota"``) so a heavy scan cannot starve point
+        queries even below the shedding threshold.  Unknown classes
+        get the minimum configured weight.
+    quota_enforce_fraction:
+        Global utilization at which fair quotas become binding
+        (work-conserving below it: spare capacity is usable by any
+        class).
+    """
+
+    enabled: bool = False
+    client_rate: float = 4.0
+    client_burst: float = 8.0
+    max_queue_depth: int = 400
+    shed_policy: str = "deadline"
+    slack_factor: float = 25.0
+    control_interval: float = 1.0
+    ewma_beta: float = 0.7
+    target_response_time: Optional[float] = None
+    throttle_enter: float = 0.55
+    throttle_exit: float = 0.35
+    shed_enter: float = 0.85
+    shed_exit: float = 0.60
+    shed_target: float = 0.50
+    class_weights: tuple = (("interactive", 6.0), ("tracking", 3.0), ("batch", 1.0))
+    quota_enforce_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.client_rate <= 0 or self.client_burst < 1.0:
+            raise ConfigurationError("client_rate must be > 0 and client_burst >= 1")
+        if self.max_queue_depth < 1:
+            raise ConfigurationError("max_queue_depth must be >= 1")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"shed_policy must be one of {SHED_POLICIES}, got {self.shed_policy!r}"
+            )
+        if self.slack_factor <= 0:
+            raise ConfigurationError("slack_factor must be positive")
+        if self.control_interval <= 0:
+            raise ConfigurationError("control_interval must be positive")
+        if not 0.0 <= self.ewma_beta < 1.0:
+            raise ConfigurationError("ewma_beta must be in [0, 1)")
+        if self.target_response_time is not None and self.target_response_time <= 0:
+            raise ConfigurationError("target_response_time must be positive or None")
+        for name in (
+            "throttle_enter", "throttle_exit", "shed_enter", "shed_exit", "shed_target"
+        ):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.5:
+                raise ConfigurationError(f"{name} must be in (0, 1.5]")
+        if not (
+            self.throttle_exit <= self.throttle_enter
+            and self.shed_exit <= self.shed_enter
+            and self.throttle_enter <= self.shed_enter
+        ):
+            raise ConfigurationError(
+                "hysteresis thresholds must satisfy throttle_exit <= throttle_enter "
+                "<= shed_enter and shed_exit <= shed_enter"
+            )
+        weights = tuple((str(c), float(w)) for c, w in self.class_weights)
+        if not weights:
+            raise ConfigurationError("class_weights must not be empty")
+        names = [c for c, _ in weights]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("class_weights has duplicate class names")
+        if any(w <= 0 for _, w in weights):
+            raise ConfigurationError("class weights must be positive")
+        object.__setattr__(self, "class_weights", weights)
+        if not 0.0 <= self.quota_enforce_fraction <= 1.0:
+            raise ConfigurationError("quota_enforce_fraction must be in [0, 1]")
+
+    def with_(self, **kwargs: Any) -> "OverloadConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Discrete-event engine configuration.
@@ -418,6 +566,10 @@ class EngineConfig:
     checkpoint:
         Crash-consistent checkpointing policy
         (:class:`CheckpointConfig`); the default disables it.
+    overload:
+        Overload-protection configuration (:class:`OverloadConfig`):
+        admission control, bounded queues, load shedding, brownout and
+        fair quotas.  The default disables the entire path.
     sanitize:
         Attach the runtime simulation sanitizer
         (:class:`~repro.analysis.sanitizer.SimulationSanitizer`): after
@@ -436,6 +588,7 @@ class EngineConfig:
     max_sim_time: float = 1e9
     faults: FaultConfig = field(default_factory=FaultConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     sanitize: bool = False
 
     def __post_init__(self) -> None:

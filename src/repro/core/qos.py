@@ -29,6 +29,7 @@ from typing import Optional
 from repro.config import CostModel, SchedulerConfig
 from repro.core.base import Batch
 from repro.core.jaws import JAWSScheduler
+from repro.errors import ConfigurationError
 from repro.grid.dataset import DatasetSpec
 from repro.workload.query import Query, SubQuery
 
@@ -57,17 +58,26 @@ class QoSJAWSScheduler(JAWSScheduler):
         lookahead: float = 5.0,
     ) -> None:
         super().__init__(spec, cost, config)
+        if not isinstance(slack_factor, (int, float)) or isinstance(slack_factor, bool):
+            raise ConfigurationError(
+                f"slack_factor must be a number, got {type(slack_factor).__name__}"
+            )
         if slack_factor <= 0:
-            raise ValueError("slack_factor must be positive")
+            raise ConfigurationError("slack_factor must be positive")
+        if not isinstance(lookahead, (int, float)) or isinstance(lookahead, bool):
+            raise ConfigurationError(
+                f"lookahead must be a number, got {type(lookahead).__name__}"
+            )
         if lookahead < 0:
-            raise ValueError("lookahead must be non-negative")
+            raise ConfigurationError("lookahead must be non-negative")
         self.name = f"QoS-JAWS(slack={slack_factor:g})"
-        self.slack_factor = slack_factor
-        self.lookahead = lookahead
+        self.slack_factor = float(slack_factor)
+        self.lookahead = float(lookahead)
         self._deadline: dict[int, float] = {}  # query_id -> deadline
         self._atom_deadline: dict[int, float] = {}  # atom -> earliest deadline
         self.deadline_misses = 0
         self.completed = 0
+        self.cancelled = 0
         self.total_tardiness = 0.0
 
     # ------------------------------------------------------------------
@@ -124,12 +134,38 @@ class QoSJAWSScheduler(JAWSScheduler):
             self.deadline_misses += 1
             self.total_tardiness += now - deadline
 
+    def cancel_query(self, query_id: int, now: float) -> None:
+        """A cancelled/shed query is a QoS outcome too: it counts as a
+        deadline miss (the guarantee was not delivered), with tardiness
+        accrued for however far past its deadline it already was.
+        Earlier versions silently dropped cancelled queries from the
+        accounting, understating the miss rate under faults and
+        overload."""
+        super().cancel_query(query_id, now)
+        deadline = self._deadline.pop(query_id, None)
+        self._atom_deadline = {
+            atom: dl for atom, dl in self._atom_deadline.items() if atom in self.queues
+        }
+        if deadline is None:
+            return
+        self.cancelled += 1
+        self.deadline_misses += 1
+        if now > deadline:
+            self.total_tardiness += now - deadline
+
+    @property
+    def _accounted(self) -> int:
+        """Queries with a QoS outcome: completed plus cancelled."""
+        return self.completed + self.cancelled
+
     @property
     def miss_rate(self) -> float:
-        """Fraction of completed queries that missed their deadline."""
-        return self.deadline_misses / self.completed if self.completed else 0.0
+        """Fraction of accounted (completed + cancelled) queries that
+        missed their deadline — cancellations count as misses."""
+        return self.deadline_misses / self._accounted if self._accounted else 0.0
 
     @property
     def mean_tardiness(self) -> float:
-        """Mean lateness over completed queries, seconds."""
-        return self.total_tardiness / self.completed if self.completed else 0.0
+        """Mean lateness over accounted (completed + cancelled)
+        queries, seconds."""
+        return self.total_tardiness / self._accounted if self._accounted else 0.0

@@ -15,9 +15,12 @@ class EventKind(enum.IntEnum):
     completions) before anything else at t; a recovering node rejoins
     before a crashing one leaves so back-to-back schedules hand off
     cleanly; job submissions must precede their own query arrivals;
-    re-routed sub-queries land before deadlines are checked; and
-    deadlines fire last, so a query completing exactly at its deadline
-    counts as completed."""
+    re-routed sub-queries land before deadlines are checked; deadlines
+    fire after that, so a query completing exactly at its deadline
+    counts as completed; and the overload control tick runs last of
+    all, observing the fully settled queue state at its timestamp.
+    (OVERLOAD_TICK is appended rather than renumbered into place so
+    WAL event fingerprints from older runs keep their kind codes.)"""
 
     BATCH_DONE = 0
     NODE_UP = 1
@@ -26,6 +29,7 @@ class EventKind(enum.IntEnum):
     QUERY_ARRIVAL = 4
     REROUTE = 5
     QUERY_DEADLINE = 6
+    OVERLOAD_TICK = 7
 
 
 @dataclass(order=True)

@@ -47,6 +47,22 @@ class RunResult:
     faults:
         Raw fault-injector snapshot plus engine-side fault accounting
         (empty dict when fault injection is off).
+    rejected_jobs / rejected_queries:
+        Jobs (and the queries they carried) refused at admission by
+        overload protection — zero when ``EngineConfig.overload`` is
+        off.
+    shed_queries:
+        Admitted queries dropped by load shedding (queue bound or
+        brownout drain); counted separately from fault cancellations.
+    throttled_jobs:
+        Rejections attributable to brownout throttling specifically.
+    class_response_times:
+        client class → response times of its completed queries, in
+        completion order (always populated, overload on or off).
+    overload:
+        Overload-manager snapshot: final mode, virtual time in each
+        mode, per-reason rejection and shed counts, and a capped list
+        of typed rejection samples (empty dict when overload is off).
     """
 
     scheduler_name: str
@@ -70,6 +86,12 @@ class RunResult:
     aborted_jobs: int = 0
     cancelled_queries: int = 0
     faults: dict = field(default_factory=dict)
+    rejected_jobs: int = 0
+    rejected_queries: int = 0
+    shed_queries: int = 0
+    throttled_jobs: int = 0
+    class_response_times: dict[str, list[float]] = field(default_factory=dict)
+    overload: dict = field(default_factory=dict)
 
     # -- headline numbers ---------------------------------------------------
     @property
@@ -92,6 +114,31 @@ class RunResult:
         )
 
     @property
+    def p99_response_time(self) -> float:
+        return (
+            float(np.percentile(self.response_times, 99)) if len(self.response_times) else 0.0
+        )
+
+    def class_percentiles(self) -> dict[str, dict[str, float]]:
+        """Per-client-class latency profile of *completed* queries:
+        count, p50, p95, p99 (the overload acceptance metric — rejected
+        and shed queries never complete, so they are excluded by
+        construction)."""
+        out: dict[str, dict[str, float]] = {}
+        for cls in sorted(self.class_response_times):
+            times = self.class_response_times[cls]
+            if not times:
+                continue
+            arr = np.asarray(times, dtype=np.float64)
+            out[cls] = {
+                "n": float(len(arr)),
+                "p50": float(np.percentile(arr, 50)),
+                "p95": float(np.percentile(arr, 95)),
+                "p99": float(np.percentile(arr, 99)),
+            }
+        return out
+
+    @property
     def cache_hit_ratio(self) -> float:
         return float(self.cache.get("hit_ratio", 0.0))
 
@@ -105,9 +152,19 @@ class RunResult:
     @property
     def availability(self) -> float:
         """Fraction of arrived queries that completed (1.0 = no
-        cancellations; the acceptance bar for degraded-mode runs)."""
-        arrived = self.n_queries + self.cancelled_queries
+        cancellations or sheds; the acceptance bar for degraded-mode
+        runs).  Rejected jobs never arrive, so they do not count
+        against availability — they count against
+        :attr:`admission_rate` instead."""
+        arrived = self.n_queries + self.cancelled_queries + self.shed_queries
         return self.n_queries / arrived if arrived else 1.0
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of offered queries admitted past the front door."""
+        offered = self.n_queries + self.cancelled_queries + self.shed_queries
+        offered += self.rejected_queries
+        return (offered - self.rejected_queries) / offered if offered else 1.0
 
     @property
     def cache_overhead_ms_per_query(self) -> float:
@@ -137,6 +194,17 @@ class RunResult:
             "failovers": self.failovers,
             "aborted_jobs": self.aborted_jobs,
             "cancelled_queries": self.cancelled_queries,
+        }
+
+    def overload_summary(self) -> dict[str, float]:
+        """Flat dict of overload-protection outcomes (for the CLI
+        overload block)."""
+        return {
+            "admission_rate": self.admission_rate,
+            "rejected_jobs": self.rejected_jobs,
+            "rejected_queries": self.rejected_queries,
+            "shed_queries": self.shed_queries,
+            "throttled_jobs": self.throttled_jobs,
         }
 
     # -- lossless serialization ---------------------------------------------
@@ -178,6 +246,15 @@ class RunResult:
             "aborted_jobs": self.aborted_jobs,
             "cancelled_queries": self.cancelled_queries,
             "faults": dict(self.faults),
+            "rejected_jobs": self.rejected_jobs,
+            "rejected_queries": self.rejected_queries,
+            "shed_queries": self.shed_queries,
+            "throttled_jobs": self.throttled_jobs,
+            "class_response_times": {
+                cls: [float(x) for x in times]
+                for cls, times in self.class_response_times.items()
+            },
+            "overload": dict(self.overload),
         }
 
     @classmethod
@@ -213,4 +290,13 @@ class RunResult:
             aborted_jobs=int(data["aborted_jobs"]),
             cancelled_queries=int(data["cancelled_queries"]),
             faults=dict(data["faults"]),
+            rejected_jobs=int(data.get("rejected_jobs", 0)),
+            rejected_queries=int(data.get("rejected_queries", 0)),
+            shed_queries=int(data.get("shed_queries", 0)),
+            throttled_jobs=int(data.get("throttled_jobs", 0)),
+            class_response_times={
+                str(cls): [float(x) for x in times]
+                for cls, times in data.get("class_response_times", {}).items()
+            },
+            overload=dict(data.get("overload", {})),
         )

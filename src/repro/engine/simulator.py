@@ -34,6 +34,16 @@ sync, and on recovery it rejoins routing.  Per-query deadlines cancel
 overdue queries everywhere — workload queues pruned, gating groups
 released, the remainder of an ordered job aborted — and every fault
 outcome is surfaced in :class:`~repro.engine.results.RunResult`.
+
+Overload protection (``EngineConfig.overload``, DESIGN.md §9): an
+:class:`~repro.overload.OverloadManager` gates every JOB_SUBMIT
+(per-client token buckets, weighted fair class quotas, brownout-mode
+throttling) before any scheduler hears about the job, enforces a
+per-node pending-queue bound at arrival by shedding victims in policy
+order, and runs a periodic OVERLOAD_TICK control loop that EWMA-smooths
+load into NORMAL/THROTTLED/SHEDDING modes.  All decisions run on the
+virtual clock from plain picklable state, so protected runs — including
+crash+resume — stay bit-identical for the same seed.
 """
 
 from __future__ import annotations
@@ -62,6 +72,7 @@ from repro.errors import (
 from repro.grid.atoms import AtomMapper
 from repro.grid.dataset import DatasetSpec
 from repro.grid.interpolation import InterpolationSpec
+from repro.overload import OverloadManager, PendingWork, estimate_service
 from repro.storage.buffer import BufferCache
 from repro.storage.disk import DiskModel
 from repro.workload.job import Job
@@ -227,9 +238,30 @@ class Simulator:
         self._node_downs = 0
         self._deferred = 0
 
+        # Overload protection (DESIGN.md §9).  The shed-conservation
+        # counters (_admitted/_shed) and per-class response times are
+        # maintained unconditionally — the sanitizer checks the
+        # admitted = completed + cancelled + shed + pending identity on
+        # every run, protected or not.
+        overload_cfg = self.config.overload
+        self.overload: Optional[OverloadManager] = (
+            OverloadManager(overload_cfg, self.config.cost, len(schedulers))
+            if overload_cfg.enabled
+            else None
+        )
+        self._admitted = 0
+        self._shed = 0
+        self._class_responses: dict[str, list[float]] = {}
+        self._tick_armed = False
+
         self._job_index = {job.job_id: job for job in trace.jobs}
         for job in trace.jobs:
             self._push(job.submit_time, EventKind.JOB_SUBMIT, job)
+        if self.overload is not None and trace.jobs:
+            # First control tick coincides with the earliest submit;
+            # OVERLOAD_TICK dispatches last at equal timestamps, so it
+            # always observes settled queue state.
+            self._arm_tick(min(job.submit_time for job in trace.jobs))
         for node_idx, down_t, up_t in faults.node_crashes:
             if not 0 <= int(node_idx) < len(self.nodes):
                 raise ValueError(
@@ -255,6 +287,15 @@ class Simulator:
             self.sanitizer.on_schedule(time_, kind)
         heapq.heappush(self._heap, Event(time_, kind, self._seq, payload))
         self._seq += 1
+
+    def _arm_tick(self, time_: float) -> None:
+        """Schedule the next overload control tick, at most one at a
+        time (ticks re-arm themselves while work remains; batch starts
+        re-arm a tick that died during an idle stretch)."""
+        if self.overload is None or self._tick_armed:
+            return
+        self._tick_armed = True
+        self._push(time_, EventKind.OVERLOAD_TICK, None)
 
     # ------------------------------------------------------------------
     # Routing
@@ -346,8 +387,10 @@ class Simulator:
         elif ev.kind is EventKind.REROUTE:
             sq, arrival = ev.payload
             self._reroute(sq, arrival, ev.time, from_node=None)
-        else:  # QUERY_DEADLINE
+        elif ev.kind is EventKind.QUERY_DEADLINE:
             self._on_query_deadline(ev.payload, ev.time)
+        else:  # OVERLOAD_TICK
+            self._on_overload_tick(ev.time)
         if self.sanitizer is not None:
             # Every event handler leaves the engine in a consistent
             # state; sweep all invariants before the next decision.
@@ -357,6 +400,15 @@ class Simulator:
             self._checkpointer.maybe_snapshot(self)
 
     def _on_job_submit(self, job: Job, now: float) -> None:
+        if self.overload is not None:
+            # Admission is decided for the job as a unit, BEFORE any
+            # scheduler hears about it: a rejected job never enters a
+            # gating graph, so there are no half-admitted ordered jobs
+            # to deadlock on.  The typed rejection (with its retry
+            # hint) is recorded by the manager; in a live service it
+            # would be returned to the client.
+            if self.overload.admit_job(job, self._global_depth(), now) is not None:
+                return
         self._job_left[job.job_id] = job.n_queries
         for node in self.nodes:
             node.scheduler.on_job_submitted(job, now)
@@ -373,6 +425,24 @@ class Simulator:
         self._job_of[query.query_id] = self._job_index[query.job_id]
         subqueries = preprocess_query(query, self.mapper)
         self._remaining[query.query_id] = len(subqueries)
+        self._admitted += 1
+        if self.overload is not None:
+            job = self._job_of[query.query_id]
+            service = estimate_service(subqueries, self.config.cost)
+            self.overload.register(
+                PendingWork(
+                    query_id=query.query_id,
+                    job_id=query.job_id,
+                    client_class=job.client_class,
+                    arrival=now,
+                    n_subqueries=len(subqueries),
+                    density=query.n_positions / max(1, len(subqueries)),
+                    service_estimate=service,
+                    deadline=now + self.config.overload.slack_factor * service,
+                    class_weight=self.overload.fairness.weight(job.client_class),
+                ),
+                len(subqueries),
+            )
         by_node: dict[int, list] = {}
         deferred: list[SubQuery] = []
         lost: bool = False
@@ -402,9 +472,34 @@ class Simulator:
             # query can never complete.
             self._cancel_query(query.query_id, now, reason="data_loss")
             return
+        if self.overload is not None:
+            self._enforce_queue_bounds(now)
+            if query.query_id not in self._remaining:
+                return  # the arriving query itself was shed
         deadline = self.config.faults.query_deadline
         if deadline is not None:
             self._push(now + deadline, EventKind.QUERY_DEADLINE, query.query_id)
+
+    def _global_depth(self) -> int:
+        """Cluster-wide pending sub-query slots (queued, gated, and
+        in-flight work of every admitted, incomplete query)."""
+        return sum(self._remaining.values())
+
+    def _enforce_queue_bounds(self, now: float) -> None:
+        """Backpressure: while any node's workload queue exceeds the
+        configured bound, shed pending queries in policy order.  Each
+        shed prunes at least one local sub-query (victims are drawn
+        from the node's own pending set), so the loop terminates."""
+        assert self.overload is not None
+        bound = self.config.overload.max_queue_depth
+        for node in self.nodes:
+            while node.scheduler.queue_depth() > bound:
+                local = sorted({sq.query.query_id for sq in node.scheduler.iter_pending()})
+                victims = self.overload.rank_victims(local, now)
+                if not victims:
+                    break  # pragma: no cover - pending work the manager never saw
+                self.overload.note_shed("overflow")
+                self._cancel_query(victims[0].query_id, now, reason="shed")
 
     def _on_batch_done(
         self, node_idx: int, epoch: int, batch: Batch, failed: list, now: float
@@ -423,6 +518,8 @@ class Simulator:
                 if qid not in self._remaining:
                     continue  # query cancelled while the batch ran
                 self._remaining[qid] -= 1
+                if self.overload is not None:
+                    self.overload.on_subquery_done(qid)
                 if self._remaining[qid] == 0:
                     self._complete_query(sq.query, now)
         for sq in failed:
@@ -460,6 +557,26 @@ class Simulator:
         if query_id in self._remaining:
             self._cancel_query(query_id, now, reason="timeout")
 
+    def _on_overload_tick(self, now: float) -> None:
+        """Overload control loop: advance the brownout mode machine and
+        drain pending work while in SHEDDING mode.
+
+        The tick re-arms itself only while the simulation has work left
+        (a busy node or any non-tick event); otherwise it dies so the
+        run can end, and :meth:`_start_batches` re-arms it when work
+        resumes."""
+        self._tick_armed = False
+        if self.overload is None:  # pragma: no cover - tick never armed
+            return
+        for qid in self.overload.on_tick(self._global_depth(), now):
+            if qid in self._remaining:
+                self.overload.note_shed("drain")
+                self._cancel_query(qid, now, reason="shed")
+        if any(n.busy for n in self.nodes) or any(
+            ev.kind is not EventKind.OVERLOAD_TICK for ev in self._heap
+        ):
+            self._arm_tick(now + self.config.overload.control_interval)
+
     # ------------------------------------------------------------------
     # Completion and cancellation
     # ------------------------------------------------------------------
@@ -475,6 +592,10 @@ class Simulator:
             node.scheduler.on_query_complete(query, now)
 
         job = self._job_of.pop(query.query_id)
+        self._class_responses.setdefault(job.client_class, []).append(response)
+        if self.overload is not None:
+            self.overload.on_query_removed(query.query_id, 0)
+            self.overload.note_response(response)
         self._job_left[job.job_id] -= 1
         if self._job_left[job.job_id] == 0:
             if job.job_id not in self._impaired_jobs:
@@ -490,15 +611,24 @@ class Simulator:
     def _cancel_query(self, query_id: int, now: float, reason: str) -> None:
         """Cancel an arrived, incomplete query everywhere: prune its
         sub-queries from all workload queues, release its gating
-        partners, and abort the remainder of an ordered job."""
+        partners, and abort the remainder of an ordered job.
+
+        ``reason`` is ``"timeout"``, ``"data_loss"``, or ``"shed"``
+        (overload protection dropping admitted work); shed queries are
+        counted separately from fault cancellations."""
         query = self._live_query.pop(query_id)
-        self._remaining.pop(query_id, None)
+        remaining = self._remaining.pop(query_id, 0)
         self._arrival.pop(query_id, None)
-        self._cancelled += 1
-        if reason == "timeout":
+        if reason == "shed":
+            self._shed += 1
+        elif reason == "timeout":
+            self._cancelled += 1
             self._timeouts += 1
         else:
+            self._cancelled += 1
             self._data_loss_cancels += 1
+        if self.overload is not None:
+            self.overload.on_query_removed(query_id, remaining)
         for node in self.nodes:
             node.scheduler.cancel_query(query_id, now)
 
@@ -548,6 +678,9 @@ class Simulator:
                 EventKind.BATCH_DONE,
                 (idx, node.epoch, batch, outcome.failed),
             )
+            # Work resumed after an idle stretch: make sure the
+            # overload control loop is ticking again.
+            self._arm_tick(self.clock + self.config.overload.control_interval)
 
     def _any_pending(self) -> bool:
         return any(n.scheduler.has_pending() for n in self.nodes) or bool(self._remaining)
@@ -676,6 +809,7 @@ class Simulator:
             data_loss_cancels=self._data_loss_cancels,
             aborted_unarrived_queries=self._aborted_unarrived,
         )
+        overload = self.overload.snapshot(self.clock) if self.overload is not None else {}
         return RunResult(
             scheduler_name=self.nodes[0].scheduler.name,
             n_queries=len(responses),
@@ -698,4 +832,14 @@ class Simulator:
             aborted_jobs=self._aborted_jobs,
             cancelled_queries=self._cancelled,
             faults=faults,
+            rejected_jobs=self.overload.rejected_jobs if self.overload is not None else 0,
+            rejected_queries=(
+                self.overload.rejected_queries if self.overload is not None else 0
+            ),
+            shed_queries=self._shed,
+            throttled_jobs=self.overload.throttled_jobs if self.overload is not None else 0,
+            class_response_times={
+                k: list(v) for k, v in sorted(self._class_responses.items())
+            },
+            overload=overload,
         )

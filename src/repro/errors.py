@@ -20,7 +20,19 @@ __all__ = [
     "InvariantViolation",
     "CoordinatorCrash",
     "RecoveryError",
+    "QueryRejected",
+    "ConfigurationError",
 ]
+
+
+class ConfigurationError(ValueError):
+    """A configuration value is invalid or inconsistent.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` call
+    sites (CLI argument handling, config round-trip tests) keep
+    working, while letting callers catch configuration mistakes
+    specifically.
+    """
 
 #: How many pending query ids to embed in the rendered message.
 _MAX_IDS_SHOWN = 20
@@ -109,6 +121,67 @@ class RecoveryError(SimulationError):
     from its WAL record, or restored engine state failing the
     consistency audits re-run before resuming.
     """
+
+
+class QueryRejected(SimulationError):
+    """Admission control refused work (overload protection, DESIGN.md §9).
+
+    Built by the :class:`~repro.overload.admission.AdmissionController`
+    for every rejected job.  Inside the discrete-event engine the
+    rejection is *recorded* (counters + per-reason accounting in
+    :class:`~repro.engine.results.RunResult`) rather than raised — the
+    simulation models a service that keeps running while turning
+    clients away; a front-end serving real clients would raise or
+    serialize this error back to the caller.
+
+    Attributes
+    ----------
+    job_id / user_id / client_class:
+        The rejected job, its submitting client, and the client class
+        the admission decision was made under.
+    reason:
+        Machine-readable rejection reason: ``"rate_limit"`` (the
+        client's token bucket is empty), ``"queue_full"`` (bounded
+        workload queues are at capacity), ``"throttled"`` (brownout
+        mode refuses this client class), or ``"quota"`` (the class is
+        over its weighted fair share).
+    retry_after:
+        Deterministic *virtual-time* hint, seconds from the rejection
+        instant, after which a retry could plausibly be admitted (token
+        refill time, or the next brownout control tick).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        job_id: int,
+        user_id: int,
+        client_class: str,
+        reason: str,
+        retry_after: float,
+        clock: float = 0.0,
+        event_index: int = 0,
+        rng_digest: Optional[str] = None,
+        pending_queries: Sequence[int] = (),
+        queue_depths: Sequence[int] = (),
+        busy_flags: Sequence[bool] = (),
+    ) -> None:
+        self.job_id = job_id
+        self.user_id = user_id
+        self.client_class = client_class
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(
+            f"{message} (job={job_id}, client={user_id}, class={client_class}, "
+            f"reason={reason}, retry_after={retry_after:.6g}s)",
+            clock=clock,
+            event_index=event_index,
+            rng_digest=rng_digest,
+            pending_queries=pending_queries,
+            queue_depths=queue_depths,
+            busy_flags=busy_flags,
+        )
 
 
 class InvariantViolation(SimulationError):

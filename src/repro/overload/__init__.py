@@ -1,0 +1,52 @@
+"""Overload protection: admission control, backpressure, graceful
+degradation (DESIGN.md §9).
+
+The ROADMAP north star is a service absorbing flash-crowd traffic from
+millions of users; JAWS itself (§V, §V-A) only *orders* whatever is
+queued.  This package adds the saturation layer in front of the
+scheduler, in four cooperating pieces:
+
+* :mod:`repro.overload.admission` — per-client token buckets and the
+  bounded-queue admission decision, producing typed
+  :class:`~repro.errors.QueryRejected` records with deterministic
+  virtual-time ``retry_after`` hints;
+* :mod:`repro.overload.shedding` — victim-selection policies over
+  pending work (reject-newest, lowest-workload-density-first, and
+  deadline-infeasible shedding reusing the QoS-JAWS service estimate);
+* :mod:`repro.overload.brownout` — an EWMA-smoothed mode controller
+  (NORMAL -> THROTTLED -> SHEDDING) with hysteresis that throttles
+  batch traffic before interactive traffic;
+* :mod:`repro.overload.fairness` — weighted fair quotas on pending
+  sub-query slots per client class, so a heavy scan cannot starve
+  point queries even below the shedding threshold.
+
+:class:`~repro.overload.manager.OverloadManager` is the façade the
+discrete-event engine talks to.  Every decision runs on the virtual
+clock with no randomness, and the manager is plain picklable state, so
+overload-protected runs — including crash+resume through the
+checkpoint subsystem — stay bit-identical for the same seed.
+"""
+
+from repro.overload.admission import AdmissionController, TokenBucketLimiter
+from repro.overload.brownout import BrownoutController, Mode
+from repro.overload.fairness import FairShareController
+from repro.overload.manager import OverloadManager
+from repro.overload.shedding import (
+    PendingWork,
+    ShedPolicy,
+    estimate_service,
+    make_shed_policy,
+)
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucketLimiter",
+    "BrownoutController",
+    "Mode",
+    "FairShareController",
+    "OverloadManager",
+    "PendingWork",
+    "ShedPolicy",
+    "estimate_service",
+    "make_shed_policy",
+]

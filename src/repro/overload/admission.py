@@ -1,0 +1,117 @@
+"""Admission control: per-client token buckets + bounded queues.
+
+Admission is *job*-granular: a job is admitted or rejected as a unit
+at submit time, before any scheduler hears about it.  This is what
+makes rejection safe under gated execution — a rejected job never
+enters any node's precedence graph, so there are no half-admitted
+ordered jobs to deadlock on (DESIGN.md §9).
+
+Everything runs on the virtual clock: token refill is a closed-form
+function of elapsed virtual time and the configured rate, so the same
+arrival sequence always produces the same admission decisions and the
+same ``retry_after`` hints — bit-identical across runs and across
+crash+resume (the limiter state is plain picklable data captured by
+checkpoint snapshots).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config import OverloadConfig
+from repro.errors import QueryRejected
+from repro.workload.job import Job
+
+__all__ = ["TokenBucketLimiter", "AdmissionController"]
+
+
+class TokenBucketLimiter:
+    """Deterministic virtual-time token bucket, one bucket per client.
+
+    A bucket refills at ``rate`` tokens per virtual second up to
+    ``burst`` banked tokens; each admission costs one token.  Buckets
+    are created full on first sight of a client (a fresh client can
+    burst immediately, like any rate limiter warming up).
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst < 1.0:
+            raise ValueError("rate must be > 0 and burst >= 1")
+        self.rate = rate
+        self.burst = burst
+        # client id -> (tokens, last refill virtual time)
+        self._buckets: Dict[int, Tuple[float, float]] = {}
+
+    def _refill(self, client: int, now: float) -> float:
+        tokens, last = self._buckets.get(client, (self.burst, now))
+        if now > last:
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+        return tokens
+
+    def try_acquire(self, client: int, now: float) -> Optional[float]:
+        """Spend one token for ``client`` at virtual time ``now``.
+
+        Returns ``None`` on success, or the deterministic virtual-time
+        ``retry_after`` (seconds until the bucket holds a full token)
+        on refusal.  Refusals do not consume anything.
+        """
+        tokens = self._refill(client, now)
+        if tokens >= 1.0:
+            self._buckets[client] = (tokens - 1.0, now)
+            return None
+        self._buckets[client] = (tokens, now)
+        return (1.0 - tokens) / self.rate
+
+    def tokens(self, client: int, now: float) -> float:
+        """Current balance (diagnostics; does not mutate state)."""
+        return self._refill(client, now)
+
+
+class AdmissionController:
+    """Job-granular admission: rate limits and the hard queue bound.
+
+    The controller produces a typed :class:`QueryRejected` (returned,
+    not raised — the engine records it; a real front-end would
+    propagate it to the client) or ``None`` to admit.  Brownout-mode
+    and fair-quota refusals are decided by their own controllers and
+    funneled through :meth:`reject` so every refusal carries the same
+    typed, deterministic shape.
+    """
+
+    def __init__(self, config: OverloadConfig, capacity: int) -> None:
+        self.config = config
+        #: cluster-wide pending-slot capacity (nodes x max_queue_depth)
+        self.capacity = capacity
+        self.limiter = TokenBucketLimiter(config.client_rate, config.client_burst)
+
+    # ------------------------------------------------------------------
+    def reject(
+        self, job: Job, reason: str, retry_after: float, now: float
+    ) -> QueryRejected:
+        """Build the typed rejection record for ``job``."""
+        return QueryRejected(
+            "admission refused",
+            job_id=job.job_id,
+            user_id=job.user_id,
+            client_class=job.client_class,
+            reason=reason,
+            retry_after=retry_after,
+            clock=now,
+        )
+
+    def admit_job(
+        self, job: Job, global_depth: int, now: float
+    ) -> Optional[QueryRejected]:
+        """Admission checks owned by this controller: the hard cluster
+        queue bound, then the client's token bucket.
+
+        The queue bound is checked first so a saturated cluster refuses
+        without charging the client a token (the client did nothing
+        wrong; the service is full).
+        """
+        if global_depth >= self.capacity:
+            return self.reject(job, "queue_full", self.config.control_interval, now)
+        retry_after = self.limiter.try_acquire(job.user_id, now)
+        if retry_after is not None:
+            return self.reject(job, "rate_limit", retry_after, now)
+        return None

@@ -1,0 +1,140 @@
+"""Brownout controller: graceful degradation via an explicit mode machine.
+
+Brownout (Klein et al., ICSE'14 lineage) trades optional work for
+responsiveness when a service saturates.  Here the controller watches
+two EWMA-smoothed signals on the virtual clock —
+
+* **queue pressure**: cluster pending slots over capacity, sampled at
+  every overload tick;
+* **response pressure**: completed-query response time over the
+  configured target, updated at every completion —
+
+and drives a three-state machine with hysteresis::
+
+        enter >= throttle_enter          enter >= shed_enter
+    NORMAL -----------------> THROTTLED -----------------> SHEDDING
+       ^                        |  ^                          |
+       +---- exit < throttle_exit  +------ exit < shed_exit --+
+
+In THROTTLED mode, new *batch*-class jobs are refused at submit (with a
+typed rejection and a retry hint) while interactive and tracking
+traffic still flows — batch degrades first, per the QoS ordering.  In
+SHEDDING mode, the manager additionally drains already-admitted pending
+work down to ``shed_target x capacity`` each tick.
+
+Hysteresis (enter threshold above exit threshold) prevents mode
+flapping when the smoothed signal hovers near a boundary; the EWMA
+itself (``ewma_beta`` history weight) rejects single-sample spikes.
+All state is a handful of floats — picklable, deterministic, clock-pure.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.config import OverloadConfig
+
+__all__ = ["Mode", "BrownoutController"]
+
+
+class Mode(enum.IntEnum):
+    """Degradation modes, in increasing severity."""
+
+    NORMAL = 0
+    THROTTLED = 1
+    SHEDDING = 2
+
+
+class BrownoutController:
+    """EWMA + hysteresis mode machine over queue depth and response time."""
+
+    def __init__(self, config: OverloadConfig) -> None:
+        self.config = config
+        self.mode = Mode.NORMAL
+        #: EWMA of pending-slot utilization in [0, ~1].
+        self.queue_signal = 0.0
+        #: EWMA of response time over target (0 when no target is set).
+        self.response_signal = 0.0
+        self._mode_since = 0.0
+        #: virtual seconds accumulated per mode name (finalized at run end)
+        self.time_in_mode: Dict[str, float] = {m.name: 0.0 for m in Mode}
+        #: number of mode transitions (diagnostics)
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    # Signal updates
+    # ------------------------------------------------------------------
+    def _ewma(self, prev: float, sample: float) -> float:
+        beta = self.config.ewma_beta
+        return beta * prev + (1.0 - beta) * sample
+
+    def note_response(self, response_time: float) -> None:
+        """Fold one completed query's response time into the response
+        pressure signal (no-op without a configured target)."""
+        target = self.config.target_response_time
+        if target is None or target <= 0:
+            return
+        self.response_signal = self._ewma(self.response_signal, response_time / target)
+
+    def signal(self) -> float:
+        """Combined pressure: the worse of queue and response signals.
+
+        The response signal is normalized so 1.0 means "at target";
+        pressure-wise that corresponds to the shedding threshold, so it
+        is scaled by ``shed_enter`` before being compared with the
+        queue-utilization signal.
+        """
+        return max(self.queue_signal, self.response_signal * self.config.shed_enter)
+
+    # ------------------------------------------------------------------
+    # Mode machine
+    # ------------------------------------------------------------------
+    def on_tick(self, queue_fraction: float, now: float) -> Optional[Mode]:
+        """Sample queue pressure and advance the mode machine.
+
+        Returns the new mode if a transition happened, else ``None``.
+        Transitions move one severity level per tick — the EWMA already
+        smooths the input, and single-step transitions keep the
+        time-in-mode accounting simple to reason about.
+        """
+        self.queue_signal = self._ewma(self.queue_signal, queue_fraction)
+        s = self.signal()
+        cfg = self.config
+        new = self.mode
+        if self.mode is Mode.NORMAL:
+            if s >= cfg.throttle_enter:
+                new = Mode.THROTTLED
+        elif self.mode is Mode.THROTTLED:
+            if s >= cfg.shed_enter:
+                new = Mode.SHEDDING
+            elif s < cfg.throttle_exit:
+                new = Mode.NORMAL
+        else:  # SHEDDING
+            if s < cfg.shed_exit:
+                new = Mode.THROTTLED
+        if new is self.mode:
+            return None
+        self.time_in_mode[self.mode.name] += now - self._mode_since
+        self._mode_since = now
+        self.mode = new
+        self.transitions += 1
+        return new
+
+    def throttles(self, client_class: str) -> bool:
+        """Whether a new job of ``client_class`` is refused in the
+        current mode.  THROTTLED refuses batch only; SHEDDING refuses
+        batch and tracking (interactive always reaches the queue-bound
+        check, which is the final arbiter)."""
+        if self.mode is Mode.THROTTLED:
+            return client_class == "batch"
+        if self.mode is Mode.SHEDDING:
+            return client_class in ("batch", "tracking")
+        return False
+
+    def finalize(self, now: float) -> Dict[str, float]:
+        """Close the open mode interval at ``now`` and return the
+        completed time-in-mode accounting."""
+        self.time_in_mode[self.mode.name] += now - self._mode_since
+        self._mode_since = now
+        return dict(self.time_in_mode)

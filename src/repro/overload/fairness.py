@@ -1,0 +1,65 @@
+"""Weighted fair quotas on pending sub-query slots per client class.
+
+Rate limits are per *client*; quotas are per *class*.  Without them, a
+handful of batch scans — each under its own token budget — can fill
+every pending slot and starve interactive point queries long before
+the cluster is technically "full".  The fair-share controller divides
+cluster pending capacity among client classes in proportion to their
+configured weights (default interactive 6 : tracking 3 : batch 1) and
+refuses a class's new jobs once the class exceeds its share.
+
+Quotas are *work-conserving*: they only bind once global utilization
+reaches ``quota_enforce_fraction`` of capacity.  Below that, an idle
+cluster happily runs 100 % batch traffic; the quota exists to protect
+latecomers when slots are scarce, not to waste capacity reserving
+slots nobody wants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import OverloadConfig
+
+__all__ = ["FairShareController"]
+
+
+class FairShareController:
+    """Per-class pending-slot quotas derived from configured weights."""
+
+    def __init__(self, config: OverloadConfig, capacity: int) -> None:
+        self.config = config
+        self.capacity = capacity
+        weights = dict(config.class_weights)
+        total = sum(weights.values())
+        #: class -> absolute pending-slot quota (fractional; compared
+        #: against integer slot counts)
+        self.quota: Dict[str, float] = {
+            name: capacity * w / total for name, w in weights.items()
+        }
+        # Classes absent from the config get the smallest configured
+        # share — unknown traffic should not out-rank configured
+        # traffic.
+        self._fallback = min(self.quota.values())
+        self.min_weight = min(weights.values())
+
+    def weight(self, client_class: str) -> float:
+        """Fair-share weight of ``client_class`` (fallback: the
+        smallest configured weight)."""
+        return dict(self.config.class_weights).get(client_class, self.min_weight)
+
+    def quota_for(self, client_class: str) -> float:
+        return self.quota.get(client_class, self._fallback)
+
+    def over_quota(
+        self, client_class: str, class_slots: int, global_slots: int
+    ) -> bool:
+        """Whether a new job of ``client_class`` must be refused.
+
+        ``class_slots`` is the class's current pending sub-query slots,
+        ``global_slots`` the cluster-wide total.  Quotas bind only once
+        the cluster is at least ``quota_enforce_fraction`` full.
+        """
+        if global_slots < self.config.quota_enforce_fraction * self.capacity:
+            return False
+        return class_slots >= self.quota_for(client_class)

@@ -1,0 +1,202 @@
+"""OverloadManager: the façade the discrete-event engine talks to.
+
+The manager composes the four overload pieces — admission (token
+buckets + hard queue bound), brownout (mode machine), fairness (class
+quotas), and shedding (victim ranking) — behind a handful of hooks the
+engine calls at well-defined points:
+
+* ``admit_job`` at JOB_SUBMIT, *before* any scheduler broadcast;
+* ``register`` / ``on_subquery_done`` / ``on_query_removed`` as pending
+  work is created, progresses, and retires;
+* ``rank_victims`` when a node's queue exceeds its bound at arrival;
+* ``on_tick`` at every OVERLOAD_TICK to advance the mode machine and
+  (in SHEDDING mode) pick pending work to drain.
+
+All decisions are pure functions of virtual time and registered state;
+the manager holds only plain picklable data (dicts of floats and
+dataclasses, a policy whose key is a module-level function), so the
+checkpoint subsystem snapshots it like any other simulator attribute
+and crash+resume reproduces every admission and shedding decision
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import CostModel, OverloadConfig
+from repro.errors import QueryRejected
+from repro.overload.admission import AdmissionController
+from repro.overload.brownout import BrownoutController, Mode
+from repro.overload.fairness import FairShareController
+from repro.overload.shedding import PendingWork, make_shed_policy
+from repro.workload.job import Job
+
+__all__ = ["OverloadManager"]
+
+#: at most this many typed rejection records are kept verbatim in the
+#: run result (counters cover the rest)
+MAX_REJECTION_SAMPLES = 20
+
+
+class OverloadManager:
+    """Admission, fairness, brownout, and shedding behind one interface."""
+
+    def __init__(self, config: OverloadConfig, cost: CostModel, n_nodes: int) -> None:
+        self.config = config
+        self.cost = cost
+        self.capacity = max(1, n_nodes) * config.max_queue_depth
+        self.admission = AdmissionController(config, self.capacity)
+        self.brownout = BrownoutController(config)
+        self.fairness = FairShareController(config, self.capacity)
+        self.policy = make_shed_policy(config.shed_policy)
+        #: live admitted-but-incomplete queries, by query id
+        self.pending: Dict[int, PendingWork] = {}
+        #: pending sub-query slots per client class
+        self.class_slots: Dict[str, int] = {}
+        # --- counters -------------------------------------------------
+        self.rejected_jobs = 0
+        self.rejected_queries = 0
+        self.rejected_by_reason: Dict[str, int] = {}
+        self.rejected_by_class: Dict[str, int] = {}
+        self.shed_by_cause: Dict[str, int] = {}
+        self.throttled_jobs = 0
+        self.ticks = 0
+        self.rejection_samples: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Admission (JOB_SUBMIT)
+    # ------------------------------------------------------------------
+    def admit_job(
+        self, job: Job, global_depth: int, now: float
+    ) -> Optional[QueryRejected]:
+        """Decide admission for ``job`` as a unit.  Returns ``None`` to
+        admit, or the typed rejection to record.
+
+        Check order: brownout mode (cheapest signal, protects the whole
+        cluster), fair quota (protects other classes), then the
+        admission controller's queue bound and per-client token bucket.
+        """
+        cfg = self.config
+        rejection: Optional[QueryRejected] = None
+        if self.brownout.throttles(job.client_class):
+            rejection = self.admission.reject(
+                job, "throttled", cfg.control_interval, now
+            )
+        elif self.fairness.over_quota(
+            job.client_class, self.class_slots.get(job.client_class, 0), global_depth
+        ):
+            rejection = self.admission.reject(job, "quota", cfg.control_interval, now)
+        else:
+            rejection = self.admission.admit_job(job, global_depth, now)
+        if rejection is not None:
+            self._note_rejection(rejection, job)
+        return rejection
+
+    def _note_rejection(self, rejection: QueryRejected, job: Job) -> None:
+        self.rejected_jobs += 1
+        self.rejected_queries += job.n_queries
+        reason = rejection.reason
+        self.rejected_by_reason[reason] = self.rejected_by_reason.get(reason, 0) + 1
+        cls = job.client_class
+        self.rejected_by_class[cls] = self.rejected_by_class.get(cls, 0) + 1
+        if reason == "throttled":
+            self.throttled_jobs += 1
+        if len(self.rejection_samples) < MAX_REJECTION_SAMPLES:
+            self.rejection_samples.append(
+                {
+                    "job_id": rejection.job_id,
+                    "user_id": rejection.user_id,
+                    "client_class": rejection.client_class,
+                    "reason": reason,
+                    "retry_after": rejection.retry_after,
+                    "clock": rejection.clock,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Pending-work registry
+    # ------------------------------------------------------------------
+    def register(self, pending: PendingWork, n_slots: int) -> None:
+        """Record an admitted query's pending work (called at arrival)."""
+        self.pending[pending.query_id] = pending
+        cls = pending.client_class
+        self.class_slots[cls] = self.class_slots.get(cls, 0) + n_slots
+
+    def on_subquery_done(self, query_id: int) -> None:
+        """One sub-query slot of ``query_id`` freed by a batch completion."""
+        pending = self.pending.get(query_id)
+        if pending is not None:
+            self.class_slots[pending.client_class] -= 1
+
+    def on_query_removed(self, query_id: int, remaining_slots: int) -> None:
+        """Query retired (completed or cancelled); release its remaining
+        slots and forget its pending record."""
+        pending = self.pending.pop(query_id, None)
+        if pending is not None and remaining_slots:
+            self.class_slots[pending.client_class] -= remaining_slots
+
+    def note_response(self, response_time: float) -> None:
+        """Feed one completed query's response time to the brownout
+        response-pressure signal."""
+        self.brownout.note_response(response_time)
+
+    # ------------------------------------------------------------------
+    # Shedding
+    # ------------------------------------------------------------------
+    def rank_victims(self, query_ids: Iterable[int], now: float) -> List[PendingWork]:
+        """Rank the given pending queries into shed order (first = first
+        victim) under the configured policy."""
+        candidates = [self.pending[q] for q in query_ids if q in self.pending]
+        return self.policy.rank(candidates, now)
+
+    def note_shed(self, cause: str) -> None:
+        self.shed_by_cause[cause] = self.shed_by_cause.get(cause, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Control loop (OVERLOAD_TICK)
+    # ------------------------------------------------------------------
+    def on_tick(self, global_depth: int, now: float) -> List[int]:
+        """Advance the mode machine; in SHEDDING mode, return query ids
+        to drain (shed order) until pending load is back at
+        ``shed_target x capacity``."""
+        self.ticks += 1
+        self.brownout.on_tick(global_depth / self.capacity, now)
+        if self.brownout.mode is not Mode.SHEDDING:
+            return []
+        target = self.config.shed_target * self.capacity
+        excess = global_depth - target
+        if excess <= 0:
+            return []
+        victims: List[int] = []
+        for p in self.policy.rank(list(self.pending.values()), now):
+            if excess <= 0:
+                break
+            # A query's shed frees its remaining slots; approximate with
+            # its full sub-query count (remaining <= that, so the drain
+            # may undershoot slightly and finish next tick — never
+            # over-sheds past the target by more than one query).
+            victims.append(p.query_id)
+            excess -= max(1, p.n_subqueries)
+        return victims
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self, now: float) -> Dict[str, object]:
+        """JSON-safe summary for :class:`~repro.engine.results.RunResult`."""
+        return {
+            "mode": self.brownout.mode.name,
+            "time_in_mode": self.brownout.finalize(now),
+            "mode_transitions": self.brownout.transitions,
+            "ticks": self.ticks,
+            "capacity": self.capacity,
+            "rejected_jobs": self.rejected_jobs,
+            "rejected_queries": self.rejected_queries,
+            "rejected_by_reason": dict(sorted(self.rejected_by_reason.items())),
+            "rejected_by_class": dict(sorted(self.rejected_by_class.items())),
+            "shed_by_cause": dict(sorted(self.shed_by_cause.items())),
+            "throttled_jobs": self.throttled_jobs,
+            "shed_policy": self.config.shed_policy,
+            "rejection_samples": list(self.rejection_samples),
+        }

@@ -82,6 +82,11 @@ def event_fingerprint(ev: Event) -> str:
         parts = ("reroute", sq.query.query_id, sq.atom_id, float(arrival).hex())
     elif ev.kind is EventKind.QUERY_DEADLINE:
         parts = ("deadline", int(payload))
+    elif ev.kind is EventKind.OVERLOAD_TICK:
+        # The tick carries no payload: its identity is its position in
+        # the deterministic event order, which the record's index and
+        # time already pin down.
+        parts = ("tick",)
     else:  # pragma: no cover - future event kinds degrade to kind-only
         parts = ("opaque", int(ev.kind))
     return _digest(parts)

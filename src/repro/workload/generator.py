@@ -32,7 +32,7 @@ from repro.workload.job import Job, JobKind
 from repro.workload.query import Query
 from repro.workload.trace import Trace
 
-__all__ = ["WorkloadParams", "generate_trace"]
+__all__ = ["WorkloadParams", "FlashCrowdParams", "generate_trace", "inject_flash_crowd"]
 
 
 @dataclass(frozen=True)
@@ -313,3 +313,95 @@ def generate_trace(spec: DatasetSpec, params: WorkloadParams) -> Trace:
     matching how real users resubmit variations of an experiment.
     """
     return _TraceBuilder(spec, params).build()
+
+
+@dataclass(frozen=True)
+class FlashCrowdParams:
+    """A seeded flash-crowd burst layered on top of an existing trace.
+
+    Models the service's nightmare scenario (ROADMAP north star: "a
+    simulation available to millions of users"): a sudden wave of
+    first-time visitors — e.g. the dataset is linked from a popular
+    article — each firing a one-off interactive point query.  Every
+    burst job is a distinct client (fresh ``user_id``), which is
+    exactly what defeats naive per-client rate limiting and makes the
+    bounded-queue / brownout layers earn their keep.
+
+    Attributes
+    ----------
+    factor:
+        Burst size as a multiple of the base trace's average arrival
+        rate over the burst window: the burst adds
+        ``(factor - 1) x base_rate x duration`` jobs (a ``factor`` of
+        10 makes the window carry ~10x normal load).
+    start / duration:
+        Burst window in engine seconds.
+    positions_mean:
+        Mean positions per burst query (small: visitors poke at a
+        point, they do not run scans).
+    seed:
+        Burst RNG seed, independent of the base trace's.
+    """
+
+    factor: float = 10.0
+    start: float = 0.0
+    duration: float = 60.0
+    positions_mean: float = 16.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.factor <= 1.0:
+            raise ValueError("factor must be > 1 (1 = no burst)")
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("start must be >= 0 and duration positive")
+        if self.positions_mean < 1:
+            raise ValueError("positions_mean must be >= 1")
+
+
+def inject_flash_crowd(trace: Trace, params: FlashCrowdParams) -> Trace:
+    """Return a new trace with a seeded flash-crowd burst merged in.
+
+    Burst jobs are one-off interactive queries from distinct new users,
+    with job/query/user ids continuing past the base trace's maxima so
+    the merge never collides.  Deterministic: same base trace + same
+    params ⇒ identical output.
+    """
+    spec = trace.spec
+    base_rate = max(trace.n_jobs / trace.span, 1e-9) if trace.span > 0 else 1.0
+    n_burst = max(1, int(round((params.factor - 1.0) * base_rate * params.duration)))
+    rng = np.random.default_rng(params.seed)
+    next_job = max((j.job_id for j in trace.jobs), default=-1) + 1
+    next_query = max(
+        (q.query_id for j in trace.jobs for q in j.queries), default=-1
+    ) + 1
+    next_user = max((j.user_id for j in trace.jobs), default=-1) + 1
+    submit_times = np.sort(rng.uniform(params.start, params.start + params.duration, n_burst))
+    timesteps = rng.integers(0, spec.n_timesteps, n_burst)
+    burst_jobs: list[Job] = []
+    for i, (submit, timestep) in enumerate(zip(submit_times, timesteps)):
+        n_pos = max(4, int(rng.poisson(params.positions_mean)))
+        center = rng.uniform(0.0, spec.grid_side, 3)
+        positions = np.mod(
+            center[None, :] + rng.normal(0.0, 6.0, (n_pos, 3)), spec.grid_side
+        )
+        query = Query(
+            query_id=next_query + i,
+            job_id=next_job + i,
+            seq=0,
+            user_id=next_user + i,
+            op="velocity",
+            timestep=int(timestep),
+            positions=positions,
+        )
+        burst_jobs.append(
+            Job(
+                job_id=next_job + i,
+                kind=JobKind.ORDERED,
+                user_id=next_user + i,
+                submit_time=float(submit),
+                think_time=0.0,
+                queries=[query],
+            )
+        )
+    merged = sorted(trace.jobs + burst_jobs, key=lambda j: (j.submit_time, j.job_id))
+    return Trace(spec, merged)

@@ -46,6 +46,12 @@ class Job:
         a query's completion and the arrival of the next query.
     queries:
         The job's query sequence, ``seq`` ascending.
+    client_class:
+        Traffic class used by overload protection (admission classes,
+        weighted fair quotas, shed ordering — DESIGN.md §9).  Derived
+        from the job shape when left empty: ``"batch"`` for batched
+        statistics jobs, ``"tracking"`` for multi-query ordered jobs,
+        ``"interactive"`` for one-off point queries.
     """
 
     job_id: int
@@ -54,12 +60,20 @@ class Job:
     submit_time: float
     think_time: float = 0.0
     queries: list[Query] = field(default_factory=list)
+    client_class: str = ""
 
     def __post_init__(self) -> None:
         if self.submit_time < 0:
             raise ValueError("submit_time must be non-negative")
         if self.think_time < 0:
             raise ValueError("think_time must be non-negative")
+        if not self.client_class:
+            if self.kind is JobKind.BATCHED:
+                self.client_class = "batch"
+            elif len(self.queries) > 1:
+                self.client_class = "tracking"
+            else:
+                self.client_class = "interactive"
         for i, q in enumerate(self.queries):
             if q.seq != i:
                 raise ValueError(f"query seq {q.seq} at index {i}: must be contiguous from 0")

@@ -96,6 +96,7 @@ class Trace:
                     "user_id": job.user_id,
                     "submit_time": job.submit_time,
                     "think_time": job.think_time,
+                    "client_class": job.client_class,
                 }
             )
             for q in job.queries:
@@ -166,6 +167,9 @@ class Trace:
                     submit_time=jm["submit_time"],
                     think_time=jm["think_time"],
                     queries=qs,
+                    # Traces written before overload protection carry no
+                    # class tag; Job derives one from the job shape.
+                    client_class=jm.get("client_class", ""),
                 )
             )
         return Trace(spec, jobs)
