@@ -1,0 +1,103 @@
+"""End-to-end per-scheduler benchmarks and hot-path micro-benchmarks.
+
+The e2e benches time one full SMALL-scale replay per scheduler — the
+same measurement ``repro bench`` records into ``BENCH_PR5.json`` —
+under pytest-benchmark so regressions show up next to the micro stats.
+
+The ``remove_query`` pair demonstrates the inverted per-query index:
+cancellation cost tracks the *cancelled query's* atom count, not the
+total number of active atoms, so the 1k-atom and 16k-atom variants
+should report the same order of magnitude (pre-index, the 16k variant
+scanned every active slot and scaled linearly).
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core.queues import WorkloadQueues
+from repro.engine.runner import SCHEDULER_NAMES, run_trace
+from repro.experiments.bench import run_bench
+from repro.experiments.common import standard_engine, standard_trace
+from repro.workload.query import Query, SubQuery
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: one SMALL replay per scheduler
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_setup(scale):
+    return standard_trace(scale), standard_engine()
+
+
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def test_e2e_scheduler(benchmark, small_setup, name):
+    trace, engine = small_setup
+    result = run_once(benchmark, run_trace, trace, name, engine)
+    assert result.n_queries == trace.n_queries
+
+
+def test_e2e_bench_report_quick(benchmark):
+    """The `repro bench --quick` path end to end (all five schedulers)."""
+    report = run_once(benchmark, run_bench, quick=True)
+    assert set(report["schedulers"]) == set(SCHEDULER_NAMES)
+
+
+# ---------------------------------------------------------------------------
+# remove_query: cost must track the query's atoms, not total active atoms
+# ---------------------------------------------------------------------------
+TARGET_ATOMS = 50
+
+
+def _loaded_queues(n_background_atoms):
+    """Queues holding one sub-query on each of ``n_background_atoms``
+    distinct atoms (each from its own query)."""
+    queues = WorkloadQueues(atoms_per_timestep=1 << 30)
+    for atom in range(n_background_atoms):
+        q = Query(
+            query_id=atom,
+            job_id=atom,
+            seq=0,
+            user_id=0,
+            op="velocity",
+            timestep=0,
+            positions=np.zeros((1, 3)),
+        )
+        queues.add(SubQuery(q, atom_id=atom, position_indices=np.array([0])), now=0.0)
+    return queues
+
+
+def _remove_query_bench(benchmark, n_background_atoms):
+    queues = _loaded_queues(n_background_atoms)
+    target = Query(
+        query_id=10 ** 9,
+        job_id=10 ** 9,
+        seq=0,
+        user_id=0,
+        op="velocity",
+        timestep=0,
+        positions=np.zeros((TARGET_ATOMS, 3)),
+    )
+
+    def setup():
+        for i in range(TARGET_ATOMS):
+            queues.add(
+                SubQuery(target, atom_id=i, position_indices=np.array([i])), now=1.0
+            )
+        return (), {}
+
+    def cancel():
+        assert queues.remove_query(target.query_id) == TARGET_ATOMS
+
+    benchmark.pedantic(cancel, setup=setup, rounds=50, iterations=1)
+    assert queues.check_consistency() == []
+
+
+def test_remove_query_amid_1k_atoms(benchmark):
+    _remove_query_bench(benchmark, 1_000)
+
+
+def test_remove_query_amid_16k_atoms(benchmark):
+    """Must match the 1k variant (per-query index); pre-index this
+    scanned all 16k slots and was ~16x slower."""
+    _remove_query_bench(benchmark, 16_000)

@@ -12,9 +12,11 @@ result is flushed to disk as soon as it finishes.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import time
 from pathlib import Path
+from typing import Any, Callable, Dict
 
 from repro.experiments import ablations, fig08, fig09, fig10, fig11, fig12, jobid, table1
 from repro.experiments.common import ExperimentScale
@@ -27,6 +29,13 @@ def main() -> None:
     parser.add_argument(
         "--only", nargs="*", default=None, help="subset of artifact names to run"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiments that support parallel "
+        "evaluation (bit-identical to serial; see DESIGN.md §10)",
+    )
     args = parser.parse_args()
     scale = ExperimentScale(args.scale)
     out_path = Path(args.out)
@@ -34,18 +43,26 @@ def main() -> None:
     if out_path.exists():
         results = json.loads(out_path.read_text())
 
-    artifacts = {
-        "fig09": lambda: fig09.run(scale),
-        "jobid": lambda: jobid.run(scale),
-        "fig08": lambda: fig08.run(scale),
-        "fig10": lambda: fig10.run(scale),
-        "fig12": lambda: fig12.run(scale, ks=(1, 2, 5, 10, 15, 20, 30, 50)),
-        "table1": lambda: table1.run(scale),
-        "fig11": lambda: fig11.run(scale, speedups=(1.0, 2.0, 4.0, 8.0, 16.0)),
-        "ablation_urc": lambda: ablations.urc_vs_saturation(scale),
-        "ablation_gating": lambda: ablations.gating_ablation(scale),
-        "ablation_norm": lambda: ablations.metric_normalization(scale),
-        "ablation_seq": lambda: ablations.seq_discount(scale),
+    def with_jobs(fn: Callable[..., Any], /, *fn_args: Any, **fn_kwargs: Any) -> Any:
+        """Pass --jobs through to run functions that accept it."""
+        if "jobs" in inspect.signature(fn).parameters:
+            fn_kwargs["jobs"] = args.jobs
+        return fn(*fn_args, **fn_kwargs)
+
+    artifacts: Dict[str, Callable[[], Any]] = {
+        "fig09": lambda: with_jobs(fig09.run, scale),
+        "jobid": lambda: with_jobs(jobid.run, scale),
+        "fig08": lambda: with_jobs(fig08.run, scale),
+        "fig10": lambda: with_jobs(fig10.run, scale),
+        "fig12": lambda: with_jobs(fig12.run, scale, ks=(1, 2, 5, 10, 15, 20, 30, 50)),
+        "table1": lambda: with_jobs(table1.run, scale),
+        "fig11": lambda: with_jobs(
+            fig11.run, scale, speedups=(1.0, 2.0, 4.0, 8.0, 16.0)
+        ),
+        "ablation_urc": lambda: with_jobs(ablations.urc_vs_saturation, scale),
+        "ablation_gating": lambda: with_jobs(ablations.gating_ablation, scale),
+        "ablation_norm": lambda: with_jobs(ablations.metric_normalization, scale),
+        "ablation_seq": lambda: with_jobs(ablations.seq_discount, scale),
     }
     names = args.only or list(artifacts)
     for name in names:

@@ -4,7 +4,7 @@ Two independent prongs guard the simulator's determinism contract
 (DESIGN.md §7):
 
 * :mod:`repro.analysis.lint` — ``jawslint``, a stdlib-``ast`` static
-  analysis pass with project-specific determinism rules (D001–D005),
+  analysis pass with project-specific determinism rules (D001–D006),
   runnable as ``repro lint`` or ``python -m repro.analysis.lint``;
 * :mod:`repro.analysis.sanitizer` — a runtime invariant checker wired
   into the discrete-event engine via ``EngineConfig(sanitize=True)``,

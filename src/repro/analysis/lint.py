@@ -25,6 +25,14 @@ D004      mutable default arguments (shared state across calls).
 D005      float equality against the virtual clock (``clock ==``,
           ``now !=`` …) — exact float comparison of accumulated
           virtual times is never meaningful.
+D006      *parallel-worker purity* (scoped to files under a
+          ``parallel`` package): wall-clock reads (flagged on top of
+          D001) and process-identity reads (``os.getpid``,
+          ``threading.get_ident``, ``multiprocessing.
+          current_process`` …).  Worker results must be pure
+          functions of the pickled spec; anything derived from real
+          time or worker identity could leak into ``RunResult``
+          payloads and break parallel-vs-serial bit-identity.
 ========  ==========================================================
 
 Suppression: append ``# jawslint: disable=D003`` (comma-separate for
@@ -64,6 +72,7 @@ RULES: Dict[str, str] = {
     "D003": "unordered set/dict iteration feeding an ordering decision",
     "D004": "mutable default argument",
     "D005": "float equality comparison against the virtual clock",
+    "D006": "wall-clock or process-identity read in parallel-worker code",
 }
 
 _WALL_CLOCK_TIME_FNS = frozenset(
@@ -99,6 +108,24 @@ _NP_RANDOM_ALLOWED = frozenset(
 )
 #: stdlib random members that construct seedable instances — allowed.
 _RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+#: Fully-resolved call targets that read process/thread/host identity —
+#: forbidden inside parallel-worker code (D006): any state derived from
+#: them differs between the inline path and a pool worker.
+_PROCESS_IDENTITY_FNS = frozenset(
+    {
+        "os.getpid",
+        "os.getppid",
+        "os.uname",
+        "threading.get_ident",
+        "threading.get_native_id",
+        "threading.current_thread",
+        "multiprocessing.current_process",
+        "multiprocessing.parent_process",
+        "socket.gethostname",
+        "platform.node",
+    }
+)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*jawslint:\s*(disable-file|disable)(?:=([A-Za-z0-9,\s]+))?"
@@ -182,6 +209,12 @@ class _ImportTracker:
         return f"{origin}.{rest}" if rest else origin
 
 
+def _is_parallel_scope(path: str) -> bool:
+    """True when ``path`` lives inside a ``parallel`` package directory
+    (the scope of rule D006)."""
+    return "parallel" in Path(path).parts
+
+
 def _dotted_name(node: ast.expr) -> Optional[str]:
     """``a.b.c`` for Name/Attribute chains, else ``None``."""
     parts: List[str] = []
@@ -200,6 +233,7 @@ class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, imports: _ImportTracker) -> None:
         self.path = path
         self.imports = imports
+        self.parallel_scope = _is_parallel_scope(path)
         self.violations: List[LintViolation] = []
 
     # -- plumbing -----------------------------------------------------------
@@ -231,15 +265,22 @@ class _Linter(ast.NodeVisitor):
             self._check_wall_clock(node, resolved)
             self._check_randomness(node, resolved)
             self._check_minmax_items(node, resolved)
+            self._check_parallel_purity(node, resolved)
         self.generic_visit(node)
 
-    def _check_wall_clock(self, node: ast.Call, resolved: str) -> None:
+    @staticmethod
+    def _is_wall_clock(resolved: str) -> bool:
         head, _, member = resolved.rpartition(".")
         if head == "time" and member in _WALL_CLOCK_TIME_FNS:
-            self._flag(node, "D001", f"call to time.{member}()")
-        elif member in _WALL_CLOCK_DATETIME_FNS and (
-            head in ("datetime", "datetime.datetime", "datetime.date")
-        ):
+            return True
+        return member in _WALL_CLOCK_DATETIME_FNS and head in (
+            "datetime",
+            "datetime.datetime",
+            "datetime.date",
+        )
+
+    def _check_wall_clock(self, node: ast.Call, resolved: str) -> None:
+        if self._is_wall_clock(resolved):
             self._flag(node, "D001", f"call to {resolved}()")
 
     def _check_randomness(self, node: ast.Call, resolved: str) -> None:
@@ -268,6 +309,28 @@ class _Linter(ast.NodeVisitor):
                 "D003",
                 f"{resolved}() over .items()/.values() with a scalar key "
                 "lambda — add a total-order tiebreak (return a tuple)",
+            )
+
+    # -- D006: parallel-worker purity ----------------------------------------
+    def _check_parallel_purity(self, node: ast.Call, resolved: str) -> None:
+        if not self.parallel_scope:
+            return
+        if self._is_wall_clock(resolved):
+            # Flagged alongside D001: in worker code a wall-clock read
+            # is not just nondeterministic, it can differ per worker and
+            # leak into RunResult payloads.
+            self._flag(
+                node,
+                "D006",
+                f"call to {resolved}() — worker results must not depend on "
+                "real time",
+            )
+        elif resolved in _PROCESS_IDENTITY_FNS:
+            self._flag(
+                node,
+                "D006",
+                f"call to {resolved}() — worker results must not depend on "
+                "process/thread identity",
             )
 
     @staticmethod

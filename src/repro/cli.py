@@ -11,9 +11,10 @@ repro.cli``::
     repro run --trace trace.npz --checkpoint-dir ckpt --crash-at-event 500
     repro run --trace trace.npz --overload --max-queue-depth 200 --client-rate 2
     repro resume --dir ckpt
-    repro compare --trace trace.npz
+    repro compare --trace trace.npz --jobs 4
     repro overload --trace trace.npz --flash-crowd 10
-    repro experiment fig10 --scale small
+    repro experiment fig10 --scale small --jobs 4
+    repro bench --quick --out BENCH.json
     repro lint src tests
 """
 
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -43,6 +45,7 @@ from repro.experiments.common import (
     standard_spec,
 )
 from repro.experiments.report import render_table
+from repro.parallel import RunSpec, run_many
 from repro.workload.generator import generate_trace
 from repro.workload.stats import workload_summary
 from repro.workload.trace import Trace
@@ -176,10 +179,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="replay a trace under one scheduler")
     run_p.add_argument("--trace", required=True)
-    run_p.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="jaws2")
+    run_p.add_argument(
+        "--scheduler", action="append", choices=SCHEDULER_NAMES, default=None,
+        help="scheduler to run (repeatable; multiple fan out across --jobs workers)",
+    )
     run_p.add_argument("--cache", choices=["lru", "lruk", "slru", "urc"], default=None)
     run_p.add_argument("--speedup", type=float, default=1.0)
     run_p.add_argument("--nodes", type=int, default=1, help="cluster size")
+    run_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parallel evaluation (bit-identical to serial)",
+    )
     run_p.add_argument(
         "--overload", action="store_true",
         help="enable overload protection (admission control, shedding, brownout)",
@@ -213,6 +223,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cmp_p.add_argument("--speedup", type=float, default=1.0)
     cmp_p.add_argument("--nodes", type=int, default=1, help="cluster size")
+    cmp_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parallel evaluation (single-node, fault-free runs)",
+    )
     _add_fault_args(cmp_p)
 
     ov_p = sub.add_parser(
@@ -241,11 +255,31 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
     exp_p.add_argument("--scale", choices=["small", "full"], default="small")
     exp_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parallel evaluation (bit-identical to serial)",
+    )
+    exp_p.add_argument(
         "--csv", default=None, help="also export the series to a CSV file (fig10/fig11/fig12/table1)"
     )
 
+    bench_p = sub.add_parser(
+        "bench", help="time the standard runs per scheduler (wall-clock, events/s, RSS)"
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload for CI smoke runs (seconds, not minutes)",
+    )
+    bench_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="merge the report into PATH under its mode key (e.g. BENCH_PR5.json)",
+    )
+    bench_p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="fail (exit 1) when wall-clock regresses >2x over PATH's same-mode entry",
+    )
+
     lint_p = sub.add_parser(
-        "lint", help="run the jawslint determinism rules (D001-D005) over source trees"
+        "lint", help="run the jawslint determinism rules (D001-D006) over source trees"
     )
     lint_p.add_argument(
         "paths", nargs="*", default=["src", "tests"],
@@ -354,8 +388,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = _run_engine(args)
     if args.overload:
         engine = dataclasses.replace(engine, overload=_overload_config(args))
+    schedulers = args.scheduler or ["jaws2"]
+    if len(schedulers) > 1:
+        if args.nodes > 1 or faults is not None:
+            raise SystemExit(
+                "multiple --scheduler values fan out via the single-node "
+                "runner; drop --nodes/fault flags or run them one at a time"
+            )
+        specs = [RunSpec(trace, name, engine) for name in schedulers]
+        for name, result in zip(schedulers, run_many(specs, jobs=args.jobs)):
+            print(f"[{name}]")
+            _print_result(result, degraded=False, protected=args.overload)
+        return 0
     try:
-        result = _run_one(trace, args.scheduler, engine, faults, args.nodes)
+        result = _run_one(trace, schedulers[0], engine, faults, args.nodes)
     except CoordinatorCrash as exc:
         print(f"coordinator crashed: {exc}", file=sys.stderr)
         if getattr(args, "checkpoint_dir", None):
@@ -467,9 +513,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     engine = standard_engine()
     faults = _fault_config(args)
     degraded = faults is not None
+    if degraded or args.nodes > 1:
+        # Cluster/fault runs go through the multi-node runner, which
+        # the process pool does not fan out; run them inline.
+        results = [
+            _run_one(trace, name, engine, faults, args.nodes)
+            for name in args.schedulers
+        ]
+    else:
+        specs = [RunSpec(trace, name, engine) for name in args.schedulers]
+        results = run_many(specs, jobs=args.jobs)
     rows = []
-    for name in args.schedulers:
-        result = _run_one(trace, name, engine, faults, args.nodes)
+    for name, result in zip(args.schedulers, results):
         row = (
             name,
             result.throughput_qps,
@@ -488,8 +543,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
     run_fn, render_fn = EXPERIMENTS[args.name]
-    data = run_fn(ExperimentScale(args.scale))
+    kwargs = {}
+    if args.jobs != 1 and "jobs" in inspect.signature(run_fn).parameters:
+        kwargs["jobs"] = args.jobs
+    data = run_fn(ExperimentScale(args.scale), **kwargs)
     print(render_fn(data))
     if args.csv:
         from repro.experiments import export
@@ -505,6 +565,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f"(no CSV exporter for {args.name}; skipped)")
         else:
             print(f"wrote {exporter(data, args.csv)}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments import bench
+
+    report = bench.run_bench(quick=args.quick)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out:
+        bench.write_report(report, Path(args.out))
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.baseline:
+        failure = bench.check_regression(report, Path(args.baseline))
+        if failure:
+            print(f"benchmark regression: {failure}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -531,6 +609,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "overload":
         return _cmd_overload(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return _cmd_experiment(args)

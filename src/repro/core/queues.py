@@ -7,6 +7,18 @@ pending sub-query, and whether the atom is currently cached (the
 parallel NumPy arrays over dynamically allocated slots so the
 scheduling metrics vectorize over all active atoms in one shot —
 per-batch scheduling cost is a few array ops, not a Python loop.
+
+Three structures keep the per-event cost independent of the total
+number of active atoms:
+
+* capacity grows geometrically (doubling), so slot allocation is
+  amortized O(1) instead of an O(n) ``np.concatenate`` every 256 slots;
+* a per-query inverted index (query id -> atom ids) lets
+  :meth:`WorkloadQueues.remove_query` touch only the cancelled query's
+  slots instead of scanning every active slot;
+* :meth:`WorkloadQueues.active_view` is memoized on a mutation version
+  counter, so back-to-back metric evaluations with no intervening
+  queue change reuse one snapshot.
 """
 
 from __future__ import annotations
@@ -19,7 +31,7 @@ from repro.workload.query import SubQuery
 
 __all__ = ["WorkloadQueues"]
 
-_GROW = 256
+_MIN_CAPACITY = 256
 
 
 class WorkloadQueues:
@@ -28,32 +40,60 @@ class WorkloadQueues:
     Slots are recycled: an atom gets a slot when its first sub-query
     arrives and frees it when a batch drains the atom.  Cached flags
     are maintained incrementally from buffer-cache listener callbacks.
+
+    ``capacity_hint`` preallocates slot storage when the caller knows
+    the expected working set (e.g. the dataset's atoms-per-timestep),
+    avoiding early regrowth; capacity still doubles beyond the hint.
     """
 
-    def __init__(self, atoms_per_timestep: int) -> None:
+    def __init__(self, atoms_per_timestep: int, capacity_hint: int = 0) -> None:
         self._atoms_per_timestep = atoms_per_timestep
         self._slot_of: dict[int, int] = {}
-        self._free: list[int] = []
-        cap = _GROW
+        cap = _MIN_CAPACITY
+        while cap < capacity_hint:
+            cap *= 2
+        # Same pop order as freshly grown slots: highest slot first.
+        self._free: list[int] = list(range(cap))
         self._atom_ids = np.full(cap, -1, dtype=np.int64)
         self._counts = np.zeros(cap, dtype=np.int64)
         self._oldest = np.zeros(cap, dtype=np.float64)
         self._cached = np.zeros(cap, dtype=bool)
         self._subqueries: list[list[SubQuery]] = [[] for _ in range(cap)]
+        # Arrival time of each pending sub-query, parallel to
+        # ``_subqueries`` per slot; min(arrivals) == _oldest[slot].
+        self._arrivals: list[list[float]] = [[] for _ in range(cap)]
+        # Inverted index: query id -> atom ids with pending sub-queries
+        # of that query (insertion-ordered dict used as a set, so
+        # cancellation iterates deterministically).
+        self._by_query: dict[int, dict[int, None]] = {}
         self._cached_atoms: set[int] = set()
         self.total_positions = 0
+        # Mutation counter; bumped whenever the active view would
+        # change.  Consumers (metric memos) key on it.
+        self._version = 0
+        self._view: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._view_version = -1
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter for memoizing derived metrics."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Slot management
     # ------------------------------------------------------------------
     def _grow(self) -> None:
         old = len(self._atom_ids)
-        new = old + _GROW
-        self._atom_ids = np.concatenate([self._atom_ids, np.full(_GROW, -1, dtype=np.int64)])
-        self._counts = np.concatenate([self._counts, np.zeros(_GROW, dtype=np.int64)])
-        self._oldest = np.concatenate([self._oldest, np.zeros(_GROW)])
-        self._cached = np.concatenate([self._cached, np.zeros(_GROW, dtype=bool)])
-        self._subqueries.extend([] for _ in range(_GROW))
+        new = old * 2
+        extra = new - old
+        self._atom_ids = np.concatenate(
+            [self._atom_ids, np.full(extra, -1, dtype=np.int64)]
+        )
+        self._counts = np.concatenate([self._counts, np.zeros(extra, dtype=np.int64)])
+        self._oldest = np.concatenate([self._oldest, np.zeros(extra)])
+        self._cached = np.concatenate([self._cached, np.zeros(extra, dtype=bool)])
+        self._subqueries.extend([] for _ in range(extra))
+        self._arrivals.extend([] for _ in range(extra))
         self._free.extend(range(old, new))
 
     def _slot_for(self, atom_id: int, now: float) -> int:
@@ -69,7 +109,23 @@ class WorkloadQueues:
         self._oldest[slot] = now
         self._cached[slot] = atom_id in self._cached_atoms
         self._subqueries[slot] = []
+        self._arrivals[slot] = []
         return slot
+
+    def _index_query(self, query_id: int, atom_id: int) -> None:
+        atoms = self._by_query.get(query_id)
+        if atoms is None:
+            atoms = {}
+            self._by_query[query_id] = atoms
+        atoms[atom_id] = None
+
+    def _unindex_query(self, query_id: int, atom_id: int) -> None:
+        atoms = self._by_query.get(query_id)
+        if atoms is None:
+            return
+        atoms.pop(atom_id, None)
+        if not atoms:
+            del self._by_query[query_id]
 
     # ------------------------------------------------------------------
     # Mutation
@@ -86,23 +142,41 @@ class WorkloadQueues:
             self._oldest[slot] = now
         self._counts[slot] += subquery.n_positions
         self._subqueries[slot].append(subquery)
+        self._arrivals[slot].append(now)
+        self._index_query(subquery.query.query_id, subquery.atom_id)
         self.total_positions += subquery.n_positions
+        self._version += 1
 
     def pop_atom(self, atom_id: int) -> list[SubQuery]:
         """Drain an atom's queue (the batch takes every pending
         sub-query in one pass over the data)."""
         slot = self._slot_of.pop(atom_id)
         subs = self._subqueries[slot]
+        for sq in subs:
+            self._unindex_query(sq.query.query_id, atom_id)
         self.total_positions -= int(self._counts[slot])
         self._subqueries[slot] = []
+        self._arrivals[slot] = []
         self._atom_ids[slot] = -1
         self._counts[slot] = 0
         self._free.append(slot)
+        self._version += 1
         return subs
 
+    def pop_atom_entries(self, atom_id: int) -> list[tuple[float, SubQuery]]:
+        """Drain an atom's queue keeping each sub-query's true arrival
+        time (node-failover evacuation re-admits with these ages)."""
+        slot = self._slot_of[atom_id]
+        entries = list(zip(self._arrivals[slot], self._subqueries[slot]))
+        self.pop_atom(atom_id)
+        return entries
+
     def _free_slot(self, atom_id: int, slot: int) -> None:
+        for sq in self._subqueries[slot]:
+            self._unindex_query(sq.query.query_id, atom_id)
         self._slot_of.pop(atom_id, None)
         self._subqueries[slot] = []
+        self._arrivals[slot] = []
         self._atom_ids[slot] = -1
         self._counts[slot] = 0
         self._free.append(slot)
@@ -110,25 +184,40 @@ class WorkloadQueues:
     def remove_query(self, query_id: int) -> int:
         """Drop every pending sub-query of ``query_id`` (cancellation).
 
-        Atoms whose queues empty free their slots; other atoms keep
-        their oldest-arrival age (conservatively — the removed
-        sub-query may have been the oldest, but per-sub-query arrival
-        times are not stored).  Returns the number removed.
+        The inverted per-query index makes this touch only the
+        cancelled query's atoms, not every active slot.  Atoms whose
+        queues empty free their slots; surviving atoms restore their
+        true oldest-arrival age from the stored per-sub-query arrival
+        times.  Returns the number removed.
         """
+        atoms = self._by_query.pop(query_id, None)
+        if not atoms:
+            return 0
         removed = 0
-        for atom_id, slot in list(self._slot_of.items()):
+        for atom_id in atoms:
+            slot = self._slot_of[atom_id]
             subs = self._subqueries[slot]
-            kept = [sq for sq in subs if sq.query.query_id != query_id]
-            if len(kept) == len(subs):
-                continue
-            dropped = sum(sq.n_positions for sq in subs if sq.query.query_id == query_id)
-            removed += len(subs) - len(kept)
+            arrivals = self._arrivals[slot]
+            kept_subs: list[SubQuery] = []
+            kept_arrivals: list[float] = []
+            dropped = 0
+            for sq, arrival in zip(subs, arrivals):
+                if sq.query.query_id == query_id:
+                    removed += 1
+                    dropped += sq.n_positions
+                else:
+                    kept_subs.append(sq)
+                    kept_arrivals.append(arrival)
             self.total_positions -= dropped
-            if kept:
-                self._subqueries[slot] = kept
+            if kept_subs:
+                self._subqueries[slot] = kept_subs
+                self._arrivals[slot] = kept_arrivals
                 self._counts[slot] -= dropped
+                self._oldest[slot] = min(kept_arrivals)
             else:
+                self._subqueries[slot] = []
                 self._free_slot(atom_id, slot)
+        self._version += 1
         return removed
 
     # -- cache residency listeners ------------------------------------------
@@ -137,12 +226,14 @@ class WorkloadQueues:
         slot = self._slot_of.get(atom_id)
         if slot is not None:
             self._cached[slot] = True
+            self._version += 1
 
     def on_cache_evict(self, atom_id: int) -> None:
         self._cached_atoms.discard(atom_id)
         slot = self._slot_of.get(atom_id)
         if slot is not None:
             self._cached[slot] = False
+            self._version += 1
 
     # ------------------------------------------------------------------
     # Views for metric computation
@@ -156,24 +247,35 @@ class WorkloadQueues:
     def active_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """``(atom_ids, counts, oldest_arrival, cached)`` over active slots.
 
-        Arrays are fresh copies in a stable (slot-index) order; callers
-        may mutate them freely.
+        Arrays are read-only snapshots in a stable (slot-map insertion)
+        order, memoized on the queue version: repeated calls with no
+        intervening mutation return the same tuple without copying.
+        Callers must not write to them (they are marked non-writeable).
         """
+        if self._view is not None and self._view_version == self._version:
+            return self._view
         if not self._slot_of:
-            empty = np.empty(0)
-            return (
+            view = (
                 np.empty(0, dtype=np.int64),
                 np.empty(0, dtype=np.int64),
-                empty,
+                np.empty(0),
                 np.empty(0, dtype=bool),
             )
-        slots = np.fromiter(self._slot_of.values(), dtype=np.int64, count=len(self._slot_of))
-        return (
-            self._atom_ids[slots],
-            self._counts[slots],
-            self._oldest[slots],
-            self._cached[slots],
-        )
+        else:
+            slots = np.fromiter(
+                self._slot_of.values(), dtype=np.int64, count=len(self._slot_of)
+            )
+            view = (
+                self._atom_ids[slots],
+                self._counts[slots],
+                self._oldest[slots],
+                self._cached[slots],
+            )
+        for arr in view:
+            arr.flags.writeable = False
+        self._view = view
+        self._view_version = self._version
+        return view
 
     def iter_subquery_lists(self) -> Iterator[list[SubQuery]]:
         """Yield each active atom's pending sub-query list (read-only)."""
@@ -202,7 +304,10 @@ class WorkloadQueues:
 
         Returns human-readable problem descriptions (empty = coherent).
         Called by the simulation sanitizer after every engine event;
-        read-only.
+        read-only.  Verifies, beyond slot/array coherence: per-slot
+        arrival lists parallel to the sub-query lists with
+        ``min(arrivals) == oldest``, and the inverted per-query index
+        matching the pending sub-queries exactly (both directions).
         """
         problems: list[str] = []
         used = set(self._slot_of.values())
@@ -212,6 +317,7 @@ class WorkloadQueues:
         if overlap:
             problems.append(f"slots both used and free: {sorted(overlap)}")
         total = 0
+        pending_pairs: set[tuple[int, int]] = set()
         for atom_id, slot in self._slot_of.items():
             if not 0 <= slot < len(self._atom_ids):
                 problems.append(f"atom {atom_id}: slot {slot} out of range")
@@ -221,8 +327,18 @@ class WorkloadQueues:
                     f"atom {atom_id}: slot {slot} labeled {int(self._atom_ids[slot])}"
                 )
             subs = self._subqueries[slot]
+            arrivals = self._arrivals[slot]
             if not subs:
                 problems.append(f"atom {atom_id}: active slot {slot} has no sub-queries")
+            if len(arrivals) != len(subs):
+                problems.append(
+                    f"atom {atom_id}: {len(arrivals)} arrivals for {len(subs)} sub-queries"
+                )
+            elif subs and min(arrivals) != float(self._oldest[slot]):
+                problems.append(
+                    f"atom {atom_id}: oldest {float(self._oldest[slot])} != "
+                    f"min arrival {min(arrivals)}"
+                )
             positions = sum(sq.n_positions for sq in subs)
             if int(self._counts[slot]) != positions:
                 problems.append(
@@ -236,7 +352,23 @@ class WorkloadQueues:
                     problems.append(
                         f"atom {atom_id}: slot holds sub-query for atom {sq.atom_id}"
                     )
+                pending_pairs.add((sq.query.query_id, atom_id))
+                atoms = self._by_query.get(sq.query.query_id)
+                if atoms is None or atom_id not in atoms:
+                    problems.append(
+                        f"atom {atom_id}: query {sq.query.query_id} missing from "
+                        "inverted index"
+                    )
             total += positions
+        for query_id, atoms in self._by_query.items():
+            if not atoms:
+                problems.append(f"query {query_id}: empty inverted-index entry")
+            for atom_id in atoms:
+                if (query_id, atom_id) not in pending_pairs:
+                    problems.append(
+                        f"query {query_id}: inverted index lists atom {atom_id} "
+                        "with no pending sub-query"
+                    )
         if total != self.total_positions:
             problems.append(
                 f"total_positions {self.total_positions} != summed slot counts {total}"

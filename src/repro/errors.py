@@ -22,6 +22,7 @@ __all__ = [
     "RecoveryError",
     "QueryRejected",
     "ConfigurationError",
+    "WorkerCrashError",
 ]
 
 
@@ -182,6 +183,31 @@ class QueryRejected(SimulationError):
             queue_depths=queue_depths,
             busy_flags=busy_flags,
         )
+
+
+class WorkerCrashError(SimulationError):
+    """A parallel-evaluation worker process died and retries ran out.
+
+    Raised by :func:`repro.parallel.run_many` when a task's worker
+    process terminated abnormally (``BrokenProcessPool``: OOM kill,
+    segfault, interpreter abort) more times than the retry budget
+    allows.  Deterministic *simulation* failures inside a worker are
+    never wrapped in this error — they propagate as their own typed
+    exception, because re-running a deterministic failure cannot
+    succeed.
+
+    Attributes
+    ----------
+    task_index:
+        Position of the failed task in the submitted spec list.
+    attempts:
+        Number of times the task was attempted before giving up.
+    """
+
+    def __init__(self, message: str, *, task_index: int, attempts: int) -> None:
+        self.task_index = task_index
+        self.attempts = attempts
+        super().__init__(f"{message} (task={task_index}, attempts={attempts})")
 
 
 class InvariantViolation(SimulationError):

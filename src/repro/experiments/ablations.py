@@ -16,7 +16,6 @@ from __future__ import annotations
 import dataclasses
 
 from repro.config import MetricConfig
-from repro.engine.runner import run_trace
 from repro.experiments.common import (
     STANDARD_SPEEDUP,
     ExperimentScale,
@@ -25,6 +24,7 @@ from repro.experiments.common import (
     standard_trace,
 )
 from repro.experiments.report import render_series, render_table
+from repro.parallel import RunSpec, run_many
 
 __all__ = [
     "urc_vs_saturation",
@@ -38,18 +38,27 @@ def urc_vs_saturation(
     scale: ExperimentScale = ExperimentScale.SMALL,
     speedups: tuple[float, ...] = (1.0, 4.0, 16.0),
     seed: int = 7,
+    jobs: int = 1,
 ) -> dict:
     """URC-over-LRU-K throughput gain per saturation level."""
     engine = standard_engine()
-    gains = []
-    for speedup in speedups:
-        trace = standard_trace(scale, speedup=speedup, seed=seed)
-        per_policy = {}
-        for policy in ("lruk", "urc"):
-            eng = dataclasses.replace(
+    policies = ("lruk", "urc")
+    specs = [
+        RunSpec(
+            standard_trace(scale, speedup=speedup, seed=seed),
+            "jaws2",
+            dataclasses.replace(
                 engine, cache=dataclasses.replace(engine.cache, policy=policy)
-            )
-            per_policy[policy] = run_trace(trace, "jaws2", eng).throughput_qps
+            ),
+        )
+        for speedup in speedups
+        for policy in policies
+    ]
+    results = run_many(specs, jobs=jobs)
+    gains = []
+    it = iter(results)
+    for _speedup in speedups:
+        per_policy = {policy: next(it).throughput_qps for policy in policies}
         gains.append(per_policy["urc"] / per_policy["lruk"])
     return {"speedups": list(speedups), "urc_gain": gains}
 
@@ -58,16 +67,26 @@ def metric_normalization(
     scale: ExperimentScale = ExperimentScale.SMALL,
     speedup: float = STANDARD_SPEEDUP,
     seed: int = 7,
+    jobs: int = 1,
 ) -> dict:
     """JAWS₂ with normalized vs raw aged metric (fixed α = 0.5)."""
     trace = standard_trace(scale, speedup=speedup, seed=seed)
     engine = standard_engine()
-    out = {}
-    for label, normalize in (("normalized", True), ("raw", False)):
-        cfg = standard_scheduler_config(
-            adaptive_alpha=False, metric=MetricConfig(normalize=normalize)
+    variants = (("normalized", True), ("raw", False))
+    specs = [
+        RunSpec(
+            trace,
+            "jaws2",
+            engine,
+            standard_scheduler_config(
+                adaptive_alpha=False, metric=MetricConfig(normalize=normalize)
+            ),
         )
-        result = run_trace(trace, "jaws2", engine, cfg)
+        for _label, normalize in variants
+    ]
+    results = run_many(specs, jobs=jobs)
+    out = {}
+    for (label, _normalize), result in zip(variants, results):
         out[label] = {
             "throughput_qps": result.throughput_qps,
             "mean_rt": result.mean_response_time,
@@ -79,14 +98,24 @@ def gating_ablation(
     scale: ExperimentScale = ExperimentScale.SMALL,
     speedup: float = STANDARD_SPEEDUP,
     seed: int = 7,
+    jobs: int = 1,
 ) -> dict:
     """Job-awareness on/off with everything else held fixed."""
     trace = standard_trace(scale, speedup=speedup, seed=seed)
     engine = standard_engine()
+    variants = (("gated", True), ("ungated", False))
+    specs = [
+        RunSpec(
+            trace,
+            "jaws2" if aware else "jaws1",
+            engine,
+            standard_scheduler_config(job_aware=aware),
+        )
+        for _label, aware in variants
+    ]
+    results = run_many(specs, jobs=jobs)
     out = {}
-    for label, aware in (("gated", True), ("ungated", False)):
-        cfg = standard_scheduler_config(job_aware=aware)
-        result = run_trace(trace, "jaws2" if aware else "jaws1", engine, cfg)
+    for (label, _aware), result in zip(variants, results):
         out[label] = {
             "throughput_qps": result.throughput_qps,
             "disk_reads": result.disk["reads"],
@@ -105,17 +134,24 @@ def seq_discount(
     speedup: float = STANDARD_SPEEDUP,
     discounts: tuple[float, ...] = (1.0, 0.5, 0.25),
     seed: int = 7,
+    jobs: int = 1,
 ) -> dict:
     """JAWS₂ and NoShare under increasingly seek-bound disk models."""
     trace = standard_trace(scale, speedup=speedup, seed=seed)
     engine = standard_engine()
-    rows = []
+    specs = []
     for disc in discounts:
         eng = dataclasses.replace(
             engine, cost=dataclasses.replace(engine.cost, seq_discount=disc)
         )
-        jaws = run_trace(trace, "jaws2", eng)
-        noshare = run_trace(trace, "noshare", eng)
+        specs.append(RunSpec(trace, "jaws2", eng))
+        specs.append(RunSpec(trace, "noshare", eng))
+    results = run_many(specs, jobs=jobs)
+    rows = []
+    it = iter(results)
+    for disc in discounts:
+        jaws = next(it)
+        noshare = next(it)
         rows.append(
             {
                 "discount": disc,

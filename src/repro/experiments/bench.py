@@ -1,0 +1,140 @@
+"""End-to-end performance benchmark (`repro bench`).
+
+Times the standard SMALL-scale run under every scheduler and emits a
+machine-readable record — wall-clock seconds, dispatched events per
+second, and peak RSS — seeding the repo's performance trajectory
+(``BENCH_PR5.json``).  CI runs the ``--quick`` mode and fails when
+wall-clock regresses more than 2x over the recorded baseline.
+
+Wall-clock reads below are deliberate and safe: they measure the *real*
+cost of simulating, feed only this report, and never touch the virtual
+clock or any scheduling decision (hence the D001 suppressions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import resource
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.engine.runner import SCHEDULER_NAMES, make_scheduler
+from repro.engine.simulator import Simulator
+from repro.experiments.common import (
+    STANDARD_SPEEDUP,
+    ExperimentScale,
+    standard_engine,
+    standard_params,
+    standard_spec,
+)
+from repro.workload.cache import cached_generate_trace
+
+__all__ = ["FORMAT_VERSION", "check_regression", "run_bench", "write_report"]
+
+FORMAT_VERSION = 1
+
+#: CI gate: fail when a scheduler's wall-clock exceeds baseline by this.
+REGRESSION_FACTOR = 2.0
+
+
+def _bench_trace(scale: ExperimentScale, quick: bool):
+    params = standard_params(scale)
+    if quick:
+        # A deterministic one-third slice of the SMALL workload: big
+        # enough to exercise every scheduler phase, small enough for a
+        # CI smoke job.
+        params = dataclasses.replace(params, n_jobs=30, span=550.0)
+    return cached_generate_trace(standard_spec(), params, speedup=STANDARD_SPEEDUP)
+
+
+def _peak_rss_kb() -> int:
+    # ru_maxrss is kilobytes on Linux (bytes on macOS; this repo's CI
+    # and benchmarks run on Linux, where the raw value is correct).
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def run_bench(
+    scale: ExperimentScale = ExperimentScale.SMALL, quick: bool = False
+) -> dict[str, Any]:
+    """Run every scheduler once and measure it; returns the report dict."""
+    trace = _bench_trace(scale, quick)
+    engine = standard_engine()
+    schedulers: dict[str, dict[str, float]] = {}
+    total_wall = 0.0
+    for name in SCHEDULER_NAMES:
+        scheduler = make_scheduler(name, trace, engine)
+        sim = Simulator(trace, [scheduler], engine)
+        t0 = time.perf_counter()  # jawslint: disable=D001
+        result = sim.run()
+        wall = time.perf_counter() - t0  # jawslint: disable=D001
+        total_wall += wall
+        schedulers[name] = {
+            "wall_s": round(wall, 4),
+            "events": float(sim.event_index),
+            "events_per_sec": round(sim.event_index / wall, 1) if wall > 0 else 0.0,
+            "peak_rss_kb": float(_peak_rss_kb()),
+            "throughput_qps": round(result.throughput_qps, 4),
+        }
+    return {
+        "format": FORMAT_VERSION,
+        "mode": "quick" if quick else "standard",
+        "scale": scale.value,
+        "n_queries": trace.n_queries,
+        "total_wall_s": round(total_wall, 4),
+        "schedulers": schedulers,
+    }
+
+
+def write_report(report: dict[str, Any], path: Path) -> None:
+    """Merge the report into ``path`` under its mode key.
+
+    ``BENCH_*.json`` files hold one entry per mode (``standard`` and
+    ``quick``) so the CI smoke run and the recorded full numbers share
+    one artifact.
+    """
+    existing: dict[str, Any] = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (OSError, ValueError):
+            existing = {}
+    existing[report["mode"]] = report
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def check_regression(
+    report: dict[str, Any], baseline_path: Path
+) -> Optional[str]:
+    """Compare a fresh report against a recorded baseline.
+
+    Returns a human-readable failure message when any scheduler's
+    wall-clock (or the total) regressed more than
+    :data:`REGRESSION_FACTOR` over the baseline's same-mode entry;
+    ``None`` when within budget or when no comparable baseline exists.
+    """
+    try:
+        baseline_doc = json.loads(baseline_path.read_text())
+    except (OSError, ValueError):
+        return None
+    baseline = baseline_doc.get(report["mode"])
+    if not isinstance(baseline, dict):
+        return None
+    problems = []
+    base_total = baseline.get("total_wall_s", 0.0)
+    if base_total and report["total_wall_s"] > REGRESSION_FACTOR * base_total:
+        problems.append(
+            f"total wall-clock {report['total_wall_s']:.2f}s > "
+            f"{REGRESSION_FACTOR}x baseline {base_total:.2f}s"
+        )
+    for name, row in report["schedulers"].items():
+        base_row = baseline.get("schedulers", {}).get(name)
+        if not base_row or not base_row.get("wall_s"):
+            continue
+        if row["wall_s"] > REGRESSION_FACTOR * base_row["wall_s"]:
+            problems.append(
+                f"{name}: {row['wall_s']:.2f}s > "
+                f"{REGRESSION_FACTOR}x baseline {base_row['wall_s']:.2f}s"
+            )
+    return "; ".join(problems) if problems else None

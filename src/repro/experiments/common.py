@@ -15,7 +15,8 @@ import enum
 from typing import Any
 from repro.config import CacheConfig, CostModel, EngineConfig, SchedulerConfig
 from repro.grid.dataset import DatasetSpec
-from repro.workload.generator import WorkloadParams, generate_trace
+from repro.workload.cache import cached_generate_trace
+from repro.workload.generator import WorkloadParams
 from repro.workload.trace import Trace
 
 __all__ = [
@@ -90,6 +91,12 @@ def standard_trace(
     speedup: float = STANDARD_SPEEDUP,
     seed: int = 7,
 ) -> Trace:
-    """The calibrated trace, rescaled to the requested saturation."""
-    trace = generate_trace(standard_spec(), standard_params(scale, seed))
-    return trace.rescale(speedup) if speedup != 1.0 else trace
+    """The calibrated trace, rescaled to the requested saturation.
+
+    Memoized on disk (content-addressed, bit-identical on reload; see
+    :mod:`repro.workload.cache`) so sweeps that reuse the standard
+    trace generate it once.  Set ``REPRO_TRACE_CACHE=off`` to disable.
+    """
+    return cached_generate_trace(
+        standard_spec(), standard_params(scale, seed), speedup=speedup
+    )

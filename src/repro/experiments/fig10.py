@@ -7,7 +7,7 @@ over LifeRaft₂; LifeRaft₂ ≈ +22 % over LifeRaft₁ from cache reuse.
 
 from __future__ import annotations
 
-from repro.engine.runner import SCHEDULER_NAMES, run_trace
+from repro.engine.runner import SCHEDULER_NAMES
 from repro.experiments.common import (
     STANDARD_SPEEDUP,
     ExperimentScale,
@@ -15,6 +15,7 @@ from repro.experiments.common import (
     standard_trace,
 )
 from repro.experiments.report import render_table
+from repro.parallel import RunSpec, run_many
 
 #: Throughput of each algorithm relative to NoShare, read off Fig. 10.
 PAPER_RELATIVE = {
@@ -30,13 +31,19 @@ def run(
     scale: ExperimentScale = ExperimentScale.SMALL,
     speedup: float = STANDARD_SPEEDUP,
     seed: int = 7,
+    jobs: int = 1,
 ) -> dict:
-    """Replay the standard trace under all five schedulers."""
+    """Replay the standard trace under all five schedulers.
+
+    ``jobs > 1`` fans the five runs across worker processes with
+    bit-identical results (see :mod:`repro.parallel`).
+    """
     trace = standard_trace(scale, speedup=speedup, seed=seed)
     engine = standard_engine()
+    specs = [RunSpec(trace, name, engine) for name in SCHEDULER_NAMES]
+    results = run_many(specs, jobs=jobs)
     rows = {}
-    for name in SCHEDULER_NAMES:
-        result = run_trace(trace, name, engine)
+    for name, result in zip(SCHEDULER_NAMES, results):
         rows[name] = {
             "throughput_qps": result.throughput_qps,
             "mean_rt": result.mean_response_time,

@@ -13,9 +13,9 @@ high saturation while beating LifeRaft₁ at the lowest saturation.
 
 from __future__ import annotations
 
-from repro.engine.runner import run_trace
 from repro.experiments.common import ExperimentScale, standard_engine, standard_trace
 from repro.experiments.report import render_series
+from repro.parallel import RunSpec, run_many
 
 DEFAULT_SPEEDUPS = (1.0, 2.0, 4.0, 8.0, 16.0)
 SCHEDULERS = ("noshare", "liferaft1", "liferaft2", "jaws2")
@@ -25,15 +25,26 @@ def run(
     scale: ExperimentScale = ExperimentScale.SMALL,
     speedups: tuple[float, ...] = DEFAULT_SPEEDUPS,
     seed: int = 7,
+    jobs: int = 1,
 ) -> dict:
-    """Returns throughput and mean-response-time series per scheduler."""
+    """Returns throughput and mean-response-time series per scheduler.
+
+    The full speedup × scheduler grid is independent, so ``jobs > 1``
+    fans every cell across worker processes at once.
+    """
     engine = standard_engine()
+    specs = [
+        RunSpec(standard_trace(scale, speedup=speedup, seed=seed), name, engine)
+        for speedup in speedups
+        for name in SCHEDULERS
+    ]
+    results = run_many(specs, jobs=jobs)
     throughput: dict[str, list[float]] = {s: [] for s in SCHEDULERS}
     response: dict[str, list[float]] = {s: [] for s in SCHEDULERS}
-    for speedup in speedups:
-        trace = standard_trace(scale, speedup=speedup, seed=seed)
+    it = iter(results)
+    for _speedup in speedups:
         for name in SCHEDULERS:
-            result = run_trace(trace, name, engine)
+            result = next(it)
             throughput[name].append(result.throughput_qps)
             response[name].append(result.mean_response_time)
     return {

@@ -19,7 +19,6 @@ that do reproduce: degradation at large k, marginal impact past ~50
 
 from __future__ import annotations
 
-from repro.engine.runner import run_trace
 from repro.experiments.common import (
     STANDARD_SPEEDUP,
     ExperimentScale,
@@ -28,6 +27,7 @@ from repro.experiments.common import (
     standard_trace,
 )
 from repro.experiments.report import render_series
+from repro.parallel import RunSpec, run_many
 
 DEFAULT_KS = (1, 2, 5, 10, 15, 20, 30, 50, 80)
 
@@ -37,16 +37,19 @@ def run(
     ks: tuple[int, ...] = DEFAULT_KS,
     speedup: float = STANDARD_SPEEDUP,
     seed: int = 7,
+    jobs: int = 1,
 ) -> dict:
     """JAWS₂ throughput across batch sizes, plus LifeRaft₂ reference."""
     trace = standard_trace(scale, speedup=speedup, seed=seed)
     engine = standard_engine()
-    tps = []
-    for k in ks:
-        cfg = standard_scheduler_config(batch_size=int(k))
-        result = run_trace(trace, "jaws2", engine, cfg)
-        tps.append(result.throughput_qps)
-    liferaft2 = run_trace(trace, "liferaft2", engine).throughput_qps
+    specs = [
+        RunSpec(trace, "jaws2", engine, standard_scheduler_config(batch_size=int(k)))
+        for k in ks
+    ]
+    specs.append(RunSpec(trace, "liferaft2", engine))
+    results = run_many(specs, jobs=jobs)
+    tps = [r.throughput_qps for r in results[:-1]]
+    liferaft2 = results[-1].throughput_qps
     return {"ks": list(ks), "throughput": tps, "liferaft2": liferaft2}
 
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.engine.runner import run_trace
 from repro.experiments.common import (
     STANDARD_SPEEDUP,
     ExperimentScale,
@@ -28,6 +27,7 @@ from repro.experiments.common import (
     standard_trace,
 )
 from repro.experiments.report import render_table
+from repro.parallel import RunSpec, run_many
 
 POLICIES = ("lruk", "slru", "urc")
 
@@ -42,16 +42,24 @@ def run(
     scale: ExperimentScale = ExperimentScale.SMALL,
     speedup: float = STANDARD_SPEEDUP,
     seed: int = 7,
+    jobs: int = 1,
 ) -> dict:
     """JAWS₂ with each replacement policy on the standard trace."""
     trace = standard_trace(scale, speedup=speedup, seed=seed)
     engine = standard_engine()
-    rows = {}
-    for policy in POLICIES:
-        eng = dataclasses.replace(
-            engine, cache=dataclasses.replace(engine.cache, policy=policy)
+    specs = [
+        RunSpec(
+            trace,
+            "jaws2",
+            dataclasses.replace(
+                engine, cache=dataclasses.replace(engine.cache, policy=policy)
+            ),
         )
-        result = run_trace(trace, "jaws2", eng)
+        for policy in POLICIES
+    ]
+    results = run_many(specs, jobs=jobs)
+    rows = {}
+    for policy, result in zip(POLICIES, results):
         rows[policy] = {
             "cache_hit": result.cache_hit_ratio,
             "sec_per_qry": result.seconds_per_query,

@@ -22,7 +22,13 @@ import numpy as np
 from repro.grid.dataset import DatasetSpec
 from repro.morton.codec import morton_decode_scalar, morton_encode_unchecked
 
-__all__ = ["InterpolationSpec", "stencil_atoms", "subquery_neighbor_atoms"]
+__all__ = [
+    "InterpolationSpec",
+    "neighbor_atoms_from_keys",
+    "stencil_atoms",
+    "stencil_overshoot_keys",
+    "subquery_neighbor_atoms",
+]
 
 
 @dataclass(frozen=True)
@@ -131,6 +137,72 @@ _SUBCOMBO_TABLE: dict[int, list[tuple[int, int, int]]] = {
 }
 
 
+def stencil_overshoot_keys(
+    spec: DatasetSpec, positions: np.ndarray, interp: InterpolationSpec
+) -> np.ndarray:
+    """Per-position halo-overshoot key (base-3 encoded per-axis offset).
+
+    Key 13 encodes (0, 0, 0): the stencil fits inside the primary
+    atom's halo.  Computing the keys for a whole query's position array
+    in one vectorized pass — instead of once per sub-query — is the
+    executor's main hot-path saving; sub-queries then index into the
+    cached result (:meth:`repro.workload.query.SubQuery.neighbor_atoms`).
+    """
+    pos = np.mod(np.asarray(positions, dtype=np.float64), spec.grid_side)
+    h = interp.half_width
+    side = spec.atom_side
+    local = np.floor(pos).astype(np.int64) % side
+    offset = (local + h > side - 1 + spec.halo).astype(np.int8)
+    offset -= local - h + 1 < -spec.halo
+    keys: np.ndarray = (offset[:, 0] + 1) * 9 + (offset[:, 1] + 1) * 3 + (offset[:, 2] + 1)
+    return keys
+
+
+# Memo of within-timestep neighbor Morton codes: they are a pure
+# function of (grid resolution, primary atom position, overshoot key
+# set), so the decode/encode arithmetic runs once per distinct
+# combination instead of once per sub-query.  Bounded: at most
+# atoms-per-timestep × the handful of key sets a workload produces;
+# the cap below is a safety valve for enormous grids.
+_NEIGHBOR_MEMO: dict[tuple[int, int, tuple[int, ...]], tuple[int, ...]] = {}
+_NEIGHBOR_MEMO_MAX = 1 << 20
+
+
+def neighbor_atoms_from_keys(
+    spec: DatasetSpec, keys: np.ndarray, primary_atom_id: int
+) -> list[int]:
+    """Neighbor atom ids for one sub-query's precomputed overshoot keys.
+
+    ``keys`` is the sub-query's slice of :func:`stencil_overshoot_keys`
+    output.  Returns sorted packed atom ids (primary excluded).
+    """
+    distinct = set(keys.tolist())
+    distinct.discard(13)
+    if not distinct:
+        return []
+    key_tuple = tuple(sorted(distinct))
+    timestep = primary_atom_id // spec.atoms_per_timestep
+    primary_morton = primary_atom_id % spec.atoms_per_timestep
+    n_axis = spec.atoms_per_axis
+    memo_key = (n_axis, primary_morton, key_tuple)
+    codes = _NEIGHBOR_MEMO.get(memo_key)
+    if codes is None:
+        deltas = {
+            combo for key in key_tuple for combo in _SUBCOMBO_TABLE[int(key)]
+        }
+        px, py, pz = morton_decode_scalar(primary_morton)
+        arr = np.array(sorted(deltas), dtype=np.int64)
+        cx = (px + arr[:, 0]) % n_axis
+        cy = (py + arr[:, 1]) % n_axis
+        cz = (pz + arr[:, 2]) % n_axis
+        encoded = morton_encode_unchecked(cx, cy, cz).astype(np.int64)
+        codes = tuple(int(c) for c in np.unique(encoded))
+        if len(_NEIGHBOR_MEMO) < _NEIGHBOR_MEMO_MAX:
+            _NEIGHBOR_MEMO[memo_key] = codes
+    base = timestep * spec.atoms_per_timestep
+    return [base + c for c in codes]
+
+
 def subquery_neighbor_atoms(
     spec: DatasetSpec,
     positions: np.ndarray,
@@ -145,29 +217,7 @@ def subquery_neighbor_atoms(
     typically empty — only positions within ``half_width - halo`` voxels
     of an atom face expand.
     """
-    pos = np.mod(np.asarray(positions, dtype=np.float64), spec.grid_side)
-    h = interp.half_width
-    if h <= spec.halo:
+    if interp.half_width <= spec.halo:
         return []
-    side = spec.atom_side
-    local = np.floor(pos).astype(np.int64) % side
-    offset = (local + h > side - 1 + spec.halo).astype(np.int8)
-    offset -= local - h + 1 < -spec.halo
-    keys = (offset[:, 0] + 1) * 9 + (offset[:, 1] + 1) * 3 + (offset[:, 2] + 1)
-    keys = np.unique(keys[keys != 13])
-    if len(keys) == 0:
-        return []
-    deltas = {
-        combo for key in keys.tolist() for combo in _SUBCOMBO_TABLE[int(key)]
-    }
-    timestep = primary_atom_id // spec.atoms_per_timestep
-    primary_morton = primary_atom_id % spec.atoms_per_timestep
-    px, py, pz = morton_decode_scalar(primary_morton)
-    n_axis = spec.atoms_per_axis
-    arr = np.array(sorted(deltas), dtype=np.int64)
-    cx = (px + arr[:, 0]) % n_axis
-    cy = (py + arr[:, 1]) % n_axis
-    cz = (pz + arr[:, 2]) % n_axis
-    codes = morton_encode_unchecked(cx, cy, cz).astype(np.int64)
-    base = timestep * spec.atoms_per_timestep
-    return [base + int(c) for c in np.unique(codes)]
+    keys = stencil_overshoot_keys(spec, positions, interp)
+    return neighbor_atoms_from_keys(spec, keys, primary_atom_id)

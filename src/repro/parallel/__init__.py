@@ -1,0 +1,9 @@
+"""Deterministic parallel evaluation of independent simulation runs.
+
+See :mod:`repro.parallel.pool` for the design and the determinism
+argument (DESIGN.md §10).
+"""
+
+from repro.parallel.pool import RunSpec, run_many
+
+__all__ = ["RunSpec", "run_many"]

@@ -1,0 +1,146 @@
+"""Deterministic process-pool fan-out for independent simulation runs.
+
+The evaluation harness replays many independent ``(trace, scheduler,
+engine, faults)`` combinations — five schedulers per figure, speedup
+sweeps, cache-policy tables.  Each run is a pure function of its
+:class:`RunSpec` (the engine derives every random draw from seeds
+carried in the spec's configs; see DESIGN.md §7), so the runs can fan
+out across worker processes with **bit-identical** results:
+
+* *stable task ordering* — results come back in spec-list order, never
+  completion order, so downstream tables are byte-for-byte identical
+  to serial execution;
+* *per-task seed isolation* — workers share no RNG or interpreter
+  state; all randomness comes from seeds inside the pickled spec, and
+  each worker rebuilds its scheduler/engine from scratch;
+* *worker-crash retry* — a task whose worker dies abnormally
+  (``BrokenProcessPool``) is retried in a fresh pool up to
+  ``max_retries`` times, then surfaces as a typed
+  :class:`~repro.errors.WorkerCrashError`.  Deterministic simulation
+  errors propagate immediately — retrying them cannot succeed.
+
+Nothing in this module may read wall-clock time or process identity
+into results (enforced by jawslint rule D006).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.config import EngineConfig, FaultConfig, SchedulerConfig
+from repro.engine.results import RunResult
+from repro.engine.runner import run_trace
+from repro.errors import WorkerCrashError
+from repro.workload.trace import Trace
+
+__all__ = ["RunSpec", "run_many"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run: everything a worker needs.
+
+    Attributes
+    ----------
+    trace:
+        The workload to replay (pickled to the worker; queries carry
+        their own positions, so no shared state crosses the boundary).
+    scheduler:
+        Factory name from :data:`repro.engine.runner.SCHEDULER_NAMES`.
+    engine:
+        Engine configuration; ``None`` uses :class:`EngineConfig`
+        defaults.
+    scheduler_config:
+        Optional scheduler-knob overrides (batch size k, α policy,
+        metric config).
+    faults:
+        Optional fault-injection plan; overrides ``engine.faults``.
+    label:
+        Free-form bookkeeping tag echoed back by callers (never read
+        by the runner).
+    """
+
+    trace: Trace
+    scheduler: str
+    engine: Optional[EngineConfig] = None
+    scheduler_config: Optional[SchedulerConfig] = None
+    faults: Optional[FaultConfig] = None
+    label: str = ""
+
+
+def _execute_spec(spec: RunSpec) -> RunResult:
+    """Worker entry point: run one spec to completion (top-level so it
+    pickles by reference)."""
+    return run_trace(
+        spec.trace,
+        spec.scheduler,
+        engine=spec.engine,
+        config=spec.scheduler_config,
+        faults=spec.faults,
+    )
+
+
+@dataclass
+class _Attempt:
+    index: int
+    spec: RunSpec
+    tries: int = 0
+    future: Optional[Future] = field(default=None, repr=False)
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    max_retries: int = 2,
+) -> list[RunResult]:
+    """Run every spec and return results in spec order.
+
+    ``jobs <= 1`` runs inline in this process (no pool, no pickling) —
+    the reference execution path.  ``jobs > 1`` fans out over a
+    ``ProcessPoolExecutor``; results are bit-identical to the inline
+    path because each run is a pure function of its spec.
+
+    Raises
+    ------
+    WorkerCrashError
+        When one task's worker process died abnormally more than
+        ``max_retries`` times.
+    """
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    if jobs <= 1 or len(specs) <= 1:
+        return [_execute_spec(spec) for spec in specs]
+
+    results: list[Optional[RunResult]] = [None] * len(specs)
+    pending = [_Attempt(i, spec) for i, spec in enumerate(specs)]
+    while pending:
+        crashed: list[_Attempt] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            for attempt in pending:
+                attempt.tries += 1
+                attempt.future = pool.submit(_execute_spec, attempt.spec)
+            # Collect in submission order: a broken pool fails every
+            # outstanding future, and ordered collection keeps retry
+            # scheduling — and therefore results — deterministic.
+            for attempt in pending:
+                assert attempt.future is not None
+                try:
+                    results[attempt.index] = attempt.future.result()
+                except BrokenProcessPool:
+                    if attempt.tries > max_retries:
+                        raise WorkerCrashError(
+                            "parallel evaluation worker died abnormally and "
+                            "exhausted its retry budget",
+                            task_index=attempt.index,
+                            attempts=attempt.tries,
+                        ) from None
+                    crashed.append(attempt)
+        pending = crashed
+    out: list[RunResult] = []
+    for result in results:
+        assert result is not None  # every task either succeeded or raised
+        out.append(result)
+    return out

@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.grid.atoms import AtomMapper
 from repro.grid.dataset import DatasetSpec
-from repro.grid.interpolation import InterpolationSpec, stencil_atoms, subquery_neighbor_atoms
+from repro.grid.interpolation import (
+    InterpolationSpec,
+    neighbor_atoms_from_keys,
+    stencil_atoms,
+    stencil_overshoot_keys,
+)
 
 __all__ = ["Query", "SubQuery", "preprocess_query"]
 
@@ -62,6 +67,12 @@ class Query:
     timestep: int
     positions: np.ndarray
     atom_set: Optional[frozenset[int]] = field(default=None, repr=False)
+    # Stencil-overshoot keys for all positions, computed vectorized on
+    # first sub-query stencil evaluation and shared by every sub-query
+    # of the query: (cache key, per-position key array).
+    _stencil_keys: Optional[tuple[tuple[int, int, int, int], np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.op not in OPERATIONS:
@@ -113,10 +124,25 @@ class SubQuery:
         return np.array([self.atom_id], dtype=np.int64)
 
     def neighbor_atoms(self, spec: DatasetSpec, interp: InterpolationSpec) -> list[int]:
-        """Stencil-neighbor atom ids only (primary excluded, hot path)."""
+        """Stencil-neighbor atom ids only (primary excluded, hot path).
+
+        The per-position overshoot keys are computed vectorized over
+        the *whole query* once and cached on it; each sub-query then
+        slices its own positions' keys — one numpy pass per query
+        instead of one per sub-query.
+        """
         if self.query.op != "interp":
             return []
-        return subquery_neighbor_atoms(spec, self.positions(), self.atom_id, interp)
+        if interp.half_width <= spec.halo:
+            return []
+        cache_key = (interp.order, spec.halo, spec.atom_side, spec.grid_side)
+        cached = self.query._stencil_keys
+        if cached is None or cached[0] != cache_key:
+            keys = stencil_overshoot_keys(spec, self.query.positions, interp)
+            self.query._stencil_keys = (cache_key, keys)
+        else:
+            keys = cached[1]
+        return neighbor_atoms_from_keys(spec, keys[self.position_indices], self.atom_id)
 
 
 def preprocess_query(query: Query, mapper: AtomMapper) -> list[SubQuery]:

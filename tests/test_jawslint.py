@@ -111,6 +111,62 @@ def test_good_snippets_clean(code):
 
 
 # ---------------------------------------------------------------------------
+# D006: parallel-worker purity (path-scoped to parallel packages)
+# ---------------------------------------------------------------------------
+PARALLEL_PATH = "src/repro/parallel/pool.py"
+
+
+def parallel_hits(code):
+    return [
+        (v.rule, v.line)
+        for v in lint_source(textwrap.dedent(code), path=PARALLEL_PATH)
+    ]
+
+
+def test_d006_flags_process_identity_in_parallel_scope():
+    code = "import os\npid = os.getpid()\n"
+    assert parallel_hits(code) == [("D006", 2)]
+
+
+def test_d006_flags_thread_identity_in_parallel_scope():
+    code = "import threading\ni = threading.get_ident()\n"
+    assert parallel_hits(code) == [("D006", 2)]
+
+
+def test_d006_flags_current_process_via_from_import():
+    code = (
+        "from multiprocessing import current_process\n"
+        "name = current_process().name\n"
+    )
+    assert parallel_hits(code) == [("D006", 2)]
+
+
+def test_d006_wall_clock_flagged_on_top_of_d001():
+    code = "import time\nt = time.perf_counter()\n"
+    assert parallel_hits(code) == [("D001", 2), ("D006", 2)]
+
+
+def test_d006_silent_outside_parallel_packages():
+    code = "import os\npid = os.getpid()\n"
+    assert hits(code) == []
+    assert [
+        (v.rule, v.line)
+        for v in lint_source(code, path="src/repro/engine/runner.py")
+    ] == []
+
+
+def test_d006_inline_suppression():
+    code = "import os\npid = os.getpid()  # jawslint: disable=D006 - log tag only\n"
+    assert parallel_hits(code) == []
+
+
+def test_d006_suppression_is_rule_specific():
+    # Hiding D001 still leaves the D006 finding on the same line.
+    code = "import time\nt = time.time()  # jawslint: disable=D001\n"
+    assert parallel_hits(code) == [("D006", 2)]
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 def test_per_line_suppression():

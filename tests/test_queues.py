@@ -108,8 +108,9 @@ class TestCacheFlags:
         assert not cached[list(ids).index(atom)]
 
     def test_growth_beyond_initial_slot_block(self):
-        """The slot arrays grow in blocks of 256; exercise crossing it
-        (the 4-step x 64-atom spec has exactly 256 distinct atoms)."""
+        """The slot arrays start at 256 slots and double when full;
+        exercise crossing the initial capacity (the 4-step x 64-atom
+        spec has exactly 256 distinct atoms)."""
         queues = WorkloadQueues(SPEC.atoms_per_timestep)
         made = 0
         for seed in range(40):
@@ -120,3 +121,131 @@ class TestCacheFlags:
         ids, counts, _, _ = queues.active_view()
         assert counts.sum() == made
         assert len(ids) <= 256
+
+
+class TestGrowth:
+    def test_capacity_doubles_geometrically(self):
+        queues = WorkloadQueues(atoms_per_timestep=1 << 20)
+        assert len(queues._atom_ids) == 256
+        sq = make_subqueries(5, qid=0)[0]
+        for atom in range(300):  # force one doubling past 256
+            clone = type(sq)(
+                query=sq.query, atom_id=atom, position_indices=sq.position_indices
+            )
+            queues.add(clone, now=0.0)
+        assert len(queues._atom_ids) == 512
+        assert len(queues._subqueries) == 512
+        assert len(queues._arrivals) == 512
+        assert queues.check_consistency() == []
+
+    def test_capacity_hint_preallocates(self):
+        queues = WorkloadQueues(atoms_per_timestep=4096, capacity_hint=1000)
+        assert len(queues._atom_ids) == 1024  # next power of two >= hint
+        assert WorkloadQueues(4096, capacity_hint=0)._atom_ids.shape == (256,)
+
+
+class TestVersionedView:
+    def test_view_memoized_between_mutations(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        for sq in make_subqueries(50, seed=6):
+            queues.add(sq, now=1.0)
+        first = queues.active_view()
+        assert queues.active_view() is first  # no mutation: same snapshot
+        queues.add(make_subqueries(10, seed=7, qid=1)[0], now=2.0)
+        assert queues.active_view() is not first
+
+    def test_view_arrays_read_only(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        for sq in make_subqueries(30, seed=8):
+            queues.add(sq, now=0.0)
+        for arr in queues.active_view():
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_version_bumps_on_every_mutation(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        subs = make_subqueries(30, seed=9, qid=3)
+        v = queues.version
+        queues.add(subs[0], now=0.0)
+        assert queues.version > v
+        v = queues.version
+        queues.on_cache_insert(subs[0].atom_id)
+        assert queues.version > v
+        v = queues.version
+        queues.pop_atom(subs[0].atom_id)
+        assert queues.version > v
+
+    def test_cache_event_on_idle_atom_keeps_view(self):
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        for sq in make_subqueries(20, seed=10):
+            queues.add(sq, now=0.0)
+        view = queues.active_view()
+        queues.on_cache_insert(10 ** 6)  # atom with no pending work
+        assert queues.active_view() is view
+
+
+class TestRemoveQuery:
+    def overlapping_queries(self):
+        """Two queries over the same positions (same atoms), plus the
+        queues loaded with both at distinct arrival times."""
+        queues = WorkloadQueues(SPEC.atoms_per_timestep)
+        early = make_subqueries(80, seed=11, qid=100)
+        late = make_subqueries(80, seed=11, qid=101)
+        for sq in early:
+            queues.add(sq, now=1.0)
+        for sq in late:
+            queues.add(sq, now=5.0)
+        return queues, early, late
+
+    def test_remove_missing_query_is_noop(self):
+        queues, _, _ = self.overlapping_queries()
+        before = queues.total_positions
+        assert queues.remove_query(999) == 0
+        assert queues.total_positions == before
+
+    def test_remove_restores_true_oldest_arrival(self):
+        queues, early, late = self.overlapping_queries()
+        atom = early[0].atom_id
+        assert queues.oldest_arrival(atom) == 1.0
+        queues.remove_query(100)  # cancel the older query
+        # The true remaining age is the later query's arrival — not the
+        # stale conservative 1.0 the pre-index implementation kept.
+        assert queues.oldest_arrival(atom) == 5.0
+        assert queues.check_consistency() == []
+
+    def test_remove_counts_and_positions(self):
+        queues, early, late = self.overlapping_queries()
+        removed = queues.remove_query(101)
+        assert removed == len(late)
+        assert queues.total_positions == sum(sq.n_positions for sq in early)
+        assert queues.check_consistency() == []
+
+    def test_remove_last_query_frees_slots(self):
+        queues, early, late = self.overlapping_queries()
+        queues.remove_query(100)
+        queues.remove_query(101)
+        assert len(queues) == 0
+        assert queues.total_positions == 0
+        assert queues.check_consistency() == []
+
+    def test_pop_atom_entries_keeps_per_subquery_arrivals(self):
+        queues, early, late = self.overlapping_queries()
+        atom = early[0].atom_id
+        entries = queues.pop_atom_entries(atom)
+        arrivals = {arrival for arrival, _ in entries}
+        assert arrivals == {1.0, 5.0}
+        for arrival, sq in entries:
+            assert arrival == (1.0 if sq.query.query_id == 100 else 5.0)
+        assert atom not in queues
+        assert queues.check_consistency() == []
+
+    def test_consistency_detects_arrival_drift(self):
+        queues, early, _ = self.overlapping_queries()
+        slot = queues._slot_of[early[0].atom_id]
+        queues._oldest[slot] = 0.25  # corrupt: no arrival matches
+        assert any("min arrival" in p for p in queues.check_consistency())
+
+    def test_consistency_detects_index_drift(self):
+        queues, early, _ = self.overlapping_queries()
+        queues._by_query[100].pop(early[0].atom_id)
+        assert any("inverted index" in p for p in queues.check_consistency())
