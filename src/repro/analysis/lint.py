@@ -33,6 +33,14 @@ D006      *parallel-worker purity* (scoped to files under a
           functions of the pickled spec; anything derived from real
           time or worker identity could leak into ``RunResult``
           payloads and break parallel-vs-serial bit-identity.
+D007      *fuzz seeding* (scoped to files under a ``fuzz`` package):
+          a seedable RNG constructor called with no seed argument
+          (``random.Random()``, ``np.random.default_rng()``), or any
+          ``random.SystemRandom`` use.  D002 allows seedable
+          constructors without inspecting their arguments; in
+          scenario-builder code an accidentally unseeded instance
+          silently breaks campaign reproducibility and shrinker
+          replay, so the gap is closed here.
 ========  ==========================================================
 
 Suppression: append ``# jawslint: disable=D003`` (comma-separate for
@@ -73,6 +81,7 @@ RULES: Dict[str, str] = {
     "D004": "mutable default argument",
     "D005": "float equality comparison against the virtual clock",
     "D006": "wall-clock or process-identity read in parallel-worker code",
+    "D007": "unseeded RNG construction in fuzz scenario code (pass an explicit seed)",
 }
 
 _WALL_CLOCK_TIME_FNS = frozenset(
@@ -215,6 +224,12 @@ def _is_parallel_scope(path: str) -> bool:
     return "parallel" in Path(path).parts
 
 
+def _is_fuzz_scope(path: str) -> bool:
+    """True when ``path`` lives inside a ``fuzz`` package directory
+    (the scope of rule D007)."""
+    return "fuzz" in Path(path).parts
+
+
 def _dotted_name(node: ast.expr) -> Optional[str]:
     """``a.b.c`` for Name/Attribute chains, else ``None``."""
     parts: List[str] = []
@@ -234,6 +249,7 @@ class _Linter(ast.NodeVisitor):
         self.path = path
         self.imports = imports
         self.parallel_scope = _is_parallel_scope(path)
+        self.fuzz_scope = _is_fuzz_scope(path)
         self.violations: List[LintViolation] = []
 
     # -- plumbing -----------------------------------------------------------
@@ -266,6 +282,7 @@ class _Linter(ast.NodeVisitor):
             self._check_randomness(node, resolved)
             self._check_minmax_items(node, resolved)
             self._check_parallel_purity(node, resolved)
+            self._check_fuzz_seeding(node, resolved)
         self.generic_visit(node)
 
     @staticmethod
@@ -331,6 +348,34 @@ class _Linter(ast.NodeVisitor):
                 "D006",
                 f"call to {resolved}() — worker results must not depend on "
                 "process/thread identity",
+            )
+
+    # -- D007: fuzz scenario-builder seeding ----------------------------------
+    def _check_fuzz_seeding(self, node: ast.Call, resolved: str) -> None:
+        if not self.fuzz_scope:
+            return
+        if resolved == "random.SystemRandom":
+            # OS entropy can never be seeded: in scenario code it is
+            # unreproducible by construction, arguments or not.
+            self._flag(
+                node,
+                "D007",
+                "random.SystemRandom draws OS entropy — scenarios built from "
+                "it cannot be replayed",
+            )
+            return
+        seedable = resolved == "random.Random" or resolved in (
+            "numpy.random.default_rng",
+            "np.random.default_rng",
+            "numpy.random.RandomState",
+            "np.random.RandomState",
+        )
+        if seedable and not node.args and not node.keywords:
+            self._flag(
+                node,
+                "D007",
+                f"{resolved}() constructed without a seed — derive one from "
+                "the scenario spec",
             )
 
     @staticmethod

@@ -185,34 +185,44 @@ class SimulationSanitizer:
         self._last_clock = clock
 
     # -- sub-query conservation ---------------------------------------------
-    def _located_subqueries(self) -> Counter:
+    def _located_subqueries(self) -> tuple[Counter, Counter]:
         """Count, per query id, every sub-query physically present in
-        the system: node workload queues and gating holds, in-flight
-        batches, and parked REROUTE events."""
-        located: Counter = Counter()
+        the system, split into two counters: *queued* (node workload
+        queues and gating holds — pruned by ``cancel_query``) and
+        *zombie-capable* (in-flight batches and parked REROUTE events —
+        work a cancellation cannot reach; the engine discards it when
+        the batch completes or the REROUTE fires)."""
+        queued: Counter = Counter()
+        zombie: Counter = Counter()
         sim = self._sim
         for node in sim.nodes:
             for sq in node.scheduler.iter_pending():
-                located[sq.query.query_id] += 1
+                queued[sq.query.query_id] += 1
             if node.inflight is not None:
                 for _, subs in node.inflight.atoms:
                     for sq in subs:
-                        located[sq.query.query_id] += 1
+                        zombie[sq.query.query_id] += 1
         for event in sim._heap:
             if event.kind is EventKind.REROUTE:
                 sq, _arrival = event.payload
-                located[sq.query.query_id] += 1
-        return located
+                zombie[sq.query.query_id] += 1
+        return queued, zombie
 
     def _check_conservation(self) -> None:
         sim = self._sim
-        located = self._located_subqueries()
+        queued, zombie = self._located_subqueries()
         mismatches: Dict[int, Dict[str, int]] = {}
         for query_id, outstanding in sim._remaining.items():
-            present = located.get(query_id, 0)
+            present = queued.get(query_id, 0) + zombie.get(query_id, 0)
             if present != outstanding:
                 mismatches[query_id] = {"outstanding": outstanding, "present": present}
-        orphans = sorted(qid for qid in located if qid not in sim._remaining)
+        # Only *queued* sub-queries of a finished query are orphans:
+        # cancellation prunes every workload queue, so presence there is
+        # a real leak.  In-flight batch entries and parked REROUTEs of a
+        # cancelled query are by-design zombies — a running disk batch
+        # cannot be preempted and a parked REROUTE is dropped when it
+        # fires — so they are exempt.
+        orphans = sorted(qid for qid in queued if qid not in sim._remaining)
         if mismatches:
             self._raise(
                 "subquery_conservation",

@@ -279,7 +279,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     lint_p = sub.add_parser(
-        "lint", help="run the jawslint determinism rules (D001-D006) over source trees"
+        "lint", help="run the jawslint determinism rules (D001-D007) over source trees"
     )
     lint_p.add_argument(
         "paths", nargs="*", default=["src", "tests"],
@@ -288,6 +288,42 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="adversarial scenario fuzzing: seeded campaigns, chaos oracles, "
+        "shrunk JSON reproducers",
+    )
+    fuzz_sub = fuzz_p.add_subparsers(dest="fuzz_command")
+    fuzz_p.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    fuzz_p.add_argument(
+        "--runs", type=int, default=50, metavar="N",
+        help="number of scenarios to explore (default 50)",
+    )
+    fuzz_p.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="worker processes for scenario fan-out (bit-identical to serial)",
+    )
+    fuzz_p.add_argument(
+        "--quick", action="store_true",
+        help="small scenarios for CI smoke runs (seconds per scenario)",
+    )
+    fuzz_p.add_argument(
+        "--out-dir", default="fuzz-reproducers", metavar="DIR",
+        help="directory for shrunk reproducer JSONs (default fuzz-reproducers/)",
+    )
+    fuzz_p.add_argument(
+        "--shrink-budget", type=int, default=200, metavar="N",
+        help="max candidate evaluations per shrink (default 200)",
+    )
+    fuzz_p.add_argument(
+        "--summary-out", default=None, metavar="PATH",
+        help="also write the canonical campaign summary JSON to PATH",
+    )
+    repro_p = fuzz_sub.add_parser(
+        "repro", help="replay a shrunk reproducer file bit-identically"
+    )
+    repro_p.add_argument("file", help="reproducer JSON written by a campaign")
 
     return parser
 
@@ -595,6 +631,51 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint.main(argv)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import replay_file, run_campaign
+
+    if getattr(args, "fuzz_command", None) == "repro":
+        outcome = replay_file(Path(args.file))
+        print(json.dumps(outcome.to_json(), indent=2, sort_keys=True))
+        if outcome.failure is not None:
+            failure = outcome.failure
+            print(
+                f"reproduced: {failure.kind}:{failure.name} "
+                f"(stage {failure.stage})",
+                file=sys.stderr,
+            )
+            return 2
+        print("scenario passed: the recorded failure no longer reproduces", file=sys.stderr)
+        return 0
+
+    result = run_campaign(
+        seed=args.seed,
+        runs=args.runs,
+        jobs=args.jobs,
+        quick=args.quick,
+        out_dir=Path(args.out_dir),
+        shrink_budget=args.shrink_budget,
+    )
+    summary = result.summary_json()
+    print(summary)
+    if args.summary_out:
+        Path(args.summary_out).write_text(summary + "\n")
+        print(f"wrote {args.summary_out}", file=sys.stderr)
+    for path in result.reproducer_paths:
+        print(f"reproducer: {path}", file=sys.stderr)
+    if result.failures:
+        print(
+            f"{len(result.failures)}/{args.runs} scenarios failed "
+            f"({len(result.reproducers)} distinct signatures shrunk)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{args.runs}/{args.runs} scenarios clean", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "trace":
@@ -613,6 +694,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_experiment(args)
 
 

@@ -74,9 +74,23 @@ class FaultInjector:
     n_nodes:
         Cluster size; per-node state (budgets, breakers) is indexed by
         node.
+    guaranteed_events:
+        A lower bound on the number of events the engine will dispatch
+        for this run (the engine passes ``len(trace.jobs) + 2 *
+        len(node_crashes)``: every JOB_SUBMIT and NODE_DOWN/NODE_UP is
+        dispatched no matter what the schedulers do).  Window-drawn
+        coordinator-crash points are clamped below this bound so a
+        window reaching past the end of a short trace still produces a
+        crash that actually fires instead of silently testing nothing.
+        Explicit ``coordinator_crash_at`` indices are honored verbatim.
     """
 
-    def __init__(self, config: FaultConfig, n_nodes: int) -> None:
+    def __init__(
+        self,
+        config: FaultConfig,
+        n_nodes: int,
+        guaranteed_events: Optional[int] = None,
+    ) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
         self.config = config
@@ -91,11 +105,16 @@ class FaultInjector:
         # DEDICATED seeded stream (never the shared fault stream, so
         # arming a crash cannot perturb disk-fault outcomes and a
         # resumed run stays bit-identical to an uninterrupted one).
+        self.crash_fired = False
         self.crash_at: Optional[int] = config.coordinator_crash_at
         if self.crash_at is None and config.coordinator_crash_window is not None:
             lo, hi = config.coordinator_crash_window
             crash_rng = random.Random(f"{config.seed}:coordinator_crash")
             self.crash_at = crash_rng.randrange(int(lo), int(hi))
+            if guaranteed_events is not None:
+                # Clamp into the live event range (still >= 1 so a
+                # pre-crash snapshot can exist for recovery).
+                self.crash_at = max(1, min(self.crash_at, guaranteed_events - 1))
 
     # ------------------------------------------------------------------
     # Read outcomes
@@ -187,11 +206,22 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def coordinator_crash_due(self, event_index: int) -> bool:
         """Should the coordinator abort before dispatching this event?"""
-        return self.crash_at is not None and event_index >= self.crash_at
+        if self.crash_at is not None and event_index >= self.crash_at:
+            self.crash_fired = True
+            return True
+        return False
 
     def disarm_coordinator_crash(self) -> None:
         """Clear the armed crash point (called on checkpoint restore so
-        the resumed run does not immediately re-crash)."""
+        the resumed run does not immediately re-crash).
+
+        Disarming an armed crash records it as fired: restore only ever
+        disarms after the crash actually aborted a run, and the restored
+        snapshot predates the abort, so the pickled ``crash_fired`` is
+        still False at this point.
+        """
+        if self.crash_at is not None:
+            self.crash_fired = True
         self.crash_at = None
 
     def rng_digest(self) -> str:
@@ -206,8 +236,19 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        """Stats plus degraded-node and loss summaries for RunResult."""
+        """Stats plus degraded-node and loss summaries for RunResult.
+
+        ``crash_effective`` reports whether an armed coordinator crash
+        actually fired during the run's lifecycle (directly, or in the
+        crashed run a restored simulator resumed from).  A completed run
+        whose config armed a crash but whose result says
+        ``crash_effective: False`` exercised nothing — the soak-level
+        assertion this flag exists for.  Lifecycle metadata, not
+        simulation output: bit-identity comparisons exclude it, exactly
+        like the wall-clock overhead counters.
+        """
         out = self.stats.snapshot()
         out["degraded_nodes"] = sum(self.degraded)
         out["lost_atom_copies"] = len(self._lost)
+        out["crash_effective"] = self.crash_fired
         return out

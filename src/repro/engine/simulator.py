@@ -193,7 +193,16 @@ class Simulator:
         self.spec = trace.spec
         self.mapper = AtomMapper(self.spec)
         faults = self.config.faults
-        self.injector = FaultInjector(faults, len(schedulers)) if faults.enabled else None
+        # Guaranteed-dispatch floor: every JOB_SUBMIT plus both halves
+        # of every scheduled node crash is dispatched unconditionally,
+        # so a window-drawn coordinator crash clamped below this count
+        # always fires (it cannot land past the end of a short trace).
+        guaranteed_events = len(trace.jobs) + 2 * len(faults.node_crashes)
+        self.injector = (
+            FaultInjector(faults, len(schedulers), guaranteed_events=guaranteed_events)
+            if faults.enabled
+            else None
+        )
         self.sanitizer = SimulationSanitizer(self) if self.config.sanitize else None
         self.nodes = [
             _Node(i, s, self.spec, self.config, self.injector, self.sanitizer)

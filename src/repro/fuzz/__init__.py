@@ -1,0 +1,38 @@
+"""Adversarial scenario fuzzer: randomized workload shapes, fault
+schedules, overload bursts and adversarial clients composed from a
+single seed, run under ``sanitize=True`` with end-of-run chaos oracles,
+and shrunk to minimal JSON reproducers on failure.
+
+See DESIGN.md §11 for the spec schema, oracle list, shrinking
+algorithm and reproducer format; ``repro fuzz --help`` for the CLI.
+"""
+
+from repro.fuzz.build import MaterializedScenario, build_scenario, materialize
+from repro.fuzz.campaign import (
+    CampaignResult,
+    load_reproducer,
+    replay_file,
+    run_campaign,
+)
+from repro.fuzz.oracles import ORACLE_NAMES, results_equivalent
+from repro.fuzz.runner import FuzzFailure, ScenarioOutcome, execute_scenario
+from repro.fuzz.shrink import shrink
+from repro.fuzz.spec import ENTRY_KINDS, ScenarioEntry, ScenarioSpec
+
+__all__ = [
+    "ENTRY_KINDS",
+    "ORACLE_NAMES",
+    "CampaignResult",
+    "FuzzFailure",
+    "MaterializedScenario",
+    "ScenarioEntry",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "build_scenario",
+    "execute_scenario",
+    "load_reproducer",
+    "materialize",
+    "replay_file",
+    "run_campaign",
+    "shrink",
+]

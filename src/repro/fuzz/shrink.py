@@ -1,0 +1,178 @@
+"""Deterministic delta-debugging over typed scenario specs.
+
+Given a failing :class:`~repro.fuzz.spec.ScenarioSpec` and a predicate
+that re-runs a candidate and reports whether it still fails *with the
+same typed signature*, :func:`shrink` searches for a smaller spec that
+preserves the failure:
+
+1. **Entry ddmin** — remove chunks of the entry list (halves, then
+   quarters, down to single entries), restarting from the largest
+   granularity after every successful reduction, exactly the classic
+   ddmin schedule.
+2. **Numeric reduction** — once no entry can be dropped, shrink scalar
+   parameters: halve the base workload (``n_jobs`` to a floor of 4,
+   ``span`` to a floor of 30s), halve burst amplitudes and wave sizes,
+   halve fault rates, and narrow coordinator-crash windows, each
+   accepted only when the failure signature survives.
+
+The two passes alternate until a full round makes no progress or the
+evaluation budget runs out.  The shrinker itself draws no randomness
+and evaluates candidates in a fixed order, so the same failing spec
+always shrinks to the same minimal reproducer — the property that makes
+``repro fuzz repro <file>`` replays trustworthy.  Evaluated candidates
+are memoized by canonical JSON, so restarts never pay twice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fuzz.spec import ScenarioEntry, ScenarioSpec
+
+__all__ = ["shrink"]
+
+#: Floors that keep a shrunk scenario materializable.
+_MIN_JOBS = 4
+_MIN_SPAN = 30.0
+
+#: Per-kind numeric parameters the shrinker may halve, with their
+#: floors.  A parameter already at (or below) its floor is left alone.
+_HALVABLE: Dict[str, Tuple[Tuple[str, float], ...]] = {
+    "flash_crowd": (("factor", 1.5),),
+    "regime_shift": (("n_jobs", 1),),
+    "morton_hostile": (("n_jobs", 1),),
+    "quota_starvation": (("n_jobs", 1),),
+    "gating_deadlock": (("n_campaigns", 1),),
+    "disk_faults": (
+        ("transient_rate", 0.0025),
+        ("loss_rate", 0.0005),
+        ("slow_rate", 0.0025),
+    ),
+    "overload": (),
+    "retry_gaming": (("max_resubmits", 1),),
+    "node_crash": (),
+    "coordinator_crash": (),
+    "query_class": (),
+}
+
+
+class _Budget:
+    def __init__(self, max_evals: int) -> None:
+        self.remaining = max_evals
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _make_checker(
+    still_fails: Callable[[ScenarioSpec], bool], budget: _Budget
+) -> Callable[[ScenarioSpec], bool]:
+    cache: Dict[str, bool] = {}
+
+    def check(candidate: ScenarioSpec) -> bool:
+        key = candidate.canonical()
+        if key in cache:
+            return cache[key]
+        if not budget.spend():
+            return False
+        try:
+            verdict = bool(still_fails(candidate))
+        except Exception:  # noqa: BLE001 - a candidate the builder rejects
+            verdict = False
+        cache[key] = verdict
+        return verdict
+
+    return check
+
+
+def _ddmin_entries(
+    spec: ScenarioSpec, check: Callable[[ScenarioSpec], bool]
+) -> ScenarioSpec:
+    entries = list(spec.entries)
+    n = 2
+    while len(entries) >= 1 and n <= len(entries):
+        chunk = max(1, len(entries) // n)
+        reduced = False
+        start = 0
+        while start < len(entries):
+            candidate_entries = entries[:start] + entries[start + chunk :]
+            candidate = spec.with_(entries=tuple(candidate_entries))
+            if check(candidate):
+                entries = candidate_entries
+                n = max(2, n - 1)  # restart coarse: classic ddmin
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(len(entries), n * 2)
+    return spec.with_(entries=tuple(entries))
+
+
+def _numeric_candidates(spec: ScenarioSpec) -> List[ScenarioSpec]:
+    """Every single-step numeric reduction, in a fixed order."""
+    out: List[ScenarioSpec] = []
+    if spec.n_jobs // 2 >= _MIN_JOBS:
+        out.append(spec.with_(n_jobs=spec.n_jobs // 2))
+    if spec.span / 2 >= _MIN_SPAN:
+        out.append(spec.with_(span=spec.span / 2))
+    for idx, entry in enumerate(spec.entries):
+        for param, floor in _HALVABLE.get(entry.kind, ()):
+            value = entry.get(param)
+            if value is None:
+                continue
+            halved = value / 2 if isinstance(value, float) else value // 2
+            if halved < floor or halved == value:
+                continue
+            new_entry = entry.with_params(**{param: halved})
+            out.append(_replace_entry(spec, idx, new_entry))
+        if entry.kind == "coordinator_crash":
+            lo = float(entry.get("window_lo_frac", 0.2))
+            hi = float(entry.get("window_hi_frac", 0.8))
+            mid = round((lo + hi) / 2, 4)
+            if mid > lo:
+                out.append(
+                    _replace_entry(
+                        spec, idx, entry.with_params(window_hi_frac=mid)
+                    )
+                )
+    return out
+
+
+def _replace_entry(
+    spec: ScenarioSpec, index: int, entry: ScenarioEntry
+) -> ScenarioSpec:
+    entries = list(spec.entries)
+    entries[index] = entry
+    return spec.with_(entries=tuple(entries))
+
+
+def shrink(
+    spec: ScenarioSpec,
+    still_fails: Callable[[ScenarioSpec], bool],
+    max_evals: int = 300,
+) -> Tuple[ScenarioSpec, int]:
+    """Minimize ``spec`` while ``still_fails`` keeps returning True.
+
+    Returns the smallest spec found and the number of candidate
+    evaluations spent.  ``still_fails`` must compare typed failure
+    signatures, not just "something went wrong" — otherwise the shrink
+    walks to a different bug.
+    """
+    budget = _Budget(max_evals)
+    check = _make_checker(still_fails, budget)
+    current = spec
+    while True:
+        before = current.canonical()
+        current = _ddmin_entries(current, check)
+        for candidate in _numeric_candidates(current):
+            if check(candidate):
+                current = candidate
+                break  # restart both passes from the reduced spec
+        if current.canonical() == before or budget.remaining <= 0:
+            break
+    return current, max_evals - budget.remaining

@@ -1,0 +1,190 @@
+"""Typed scenario specs: the unit the fuzzer generates, runs and shrinks.
+
+A :class:`ScenarioSpec` is a small, JSON-serializable value object that
+fully determines one adversarial scenario: the base workload shape, a
+list of typed :class:`ScenarioEntry` stressors layered on top (flash
+crowds, fault schedules, overload knobs, adversarial clients), and the
+scheduler under test.  Everything downstream — trace materialization,
+engine configuration, oracle selection — is a pure function of the
+spec, which is what makes delta-debugging shrinking
+(:mod:`repro.fuzz.shrink`) and reproducer replay
+(``repro fuzz repro <file>``) bit-identical.
+
+Entry kinds
+-----------
+========================  =================================================
+kind                      stressor
+========================  =================================================
+``query_class``           include one base job class (``tracking`` /
+                          ``batched`` / ``oneoff``) in the workload mix
+``flash_crowd``           Fig.-9-style burst of one-off queries from
+                          distinct new users over a short window
+``regime_shift``          a second job wave with a different class mix
+                          arriving partway through the trace
+``morton_hostile``        one-off queries whose positions stride atom
+                          boundaries — pathological Morton locality
+``quota_starvation``      a flood of batch-class jobs from a handful of
+                          users probing the weighted fair quotas
+``gating_deadlock``       heavily-overlapping ordered tracking campaigns
+                          sharing region and start step (gating stress)
+``disk_faults``           transient / permanent-loss / slow-read rates
+``node_crash``            node 0 down/up window (sub-queries defer)
+``coordinator_crash``     seeded crash window + checkpoint/resume, with
+                          the crash/resume bit-identity oracle armed
+``overload``              admission control + brownout + quotas enabled
+``retry_gaming``          adversarial client resubmitting rejected jobs
+                          at exactly ``clock + retry_after``
+========================  =================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Tuple
+
+__all__ = ["ENTRY_KINDS", "ScenarioEntry", "ScenarioSpec"]
+
+#: Every entry kind the builder can generate and the shrinker understands.
+ENTRY_KINDS = (
+    "query_class",
+    "flash_crowd",
+    "regime_shift",
+    "morton_hostile",
+    "quota_starvation",
+    "gating_deadlock",
+    "disk_faults",
+    "node_crash",
+    "coordinator_crash",
+    "overload",
+    "retry_gaming",
+)
+
+#: Reproducer/spec serialization format; bump on incompatible change.
+SPEC_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One typed stressor: a kind plus its scalar parameters.
+
+    ``params`` values are JSON scalars only (str/int/float/bool), so an
+    entry round-trips losslessly through the reproducer format and the
+    shrinker can transform parameters without understanding their
+    semantics beyond kind-specific reduction rules.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ENTRY_KINDS:
+            raise ValueError(f"unknown scenario entry kind {self.kind!r}")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.params.get(key, default)
+
+    def with_params(self, **overrides: Any) -> "ScenarioEntry":
+        """Copy with some parameters replaced (shrinker transforms)."""
+        return ScenarioEntry(self.kind, {**self.params, **overrides})
+
+    def to_json(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(sorted(self.params.items()))}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ScenarioEntry":
+        return cls(kind=str(data["kind"]), params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete adversarial scenario.
+
+    Attributes
+    ----------
+    seed:
+        Master seed: base-trace generation and every entry's private
+        stream derive from it (entries may carry their own sub-seeds).
+    scheduler:
+        Factory name from :data:`repro.engine.runner.SCHEDULER_NAMES`.
+    n_jobs / span:
+        Base workload size and submit-time spread (engine seconds).
+    n_timesteps / atoms_per_axis:
+        Dataset extent (``DatasetSpec.small`` parameters).
+    entries:
+        Ordered typed stressors; the shrinker's primary search space.
+    """
+
+    seed: int
+    scheduler: str
+    n_jobs: int = 12
+    span: float = 120.0
+    n_timesteps: int = 6
+    atoms_per_axis: int = 4
+    entries: Tuple[ScenarioEntry, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if self.span <= 0:
+            raise ValueError("span must be positive")
+        object.__setattr__(self, "entries", tuple(self.entries))
+
+    # -- queries over entries ------------------------------------------------
+    def entries_of(self, kind: str) -> Tuple[ScenarioEntry, ...]:
+        return tuple(e for e in self.entries if e.kind == kind)
+
+    def has(self, kind: str) -> bool:
+        return any(e.kind == kind for e in self.entries)
+
+    def first(self, kind: str) -> ScenarioEntry | None:
+        for entry in self.entries:
+            if entry.kind == kind:
+                return entry
+        return None
+
+    def with_(self, **kwargs: Any) -> "ScenarioSpec":
+        return replace(self, **kwargs)
+
+    # -- serialization -------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "format": SPEC_FORMAT_VERSION,
+            "seed": self.seed,
+            "scheduler": self.scheduler,
+            "n_jobs": self.n_jobs,
+            "span": self.span,
+            "n_timesteps": self.n_timesteps,
+            "atoms_per_axis": self.atoms_per_axis,
+            "entries": [e.to_json() for e in self.entries],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        version = int(data.get("format", SPEC_FORMAT_VERSION))
+        if version != SPEC_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported scenario spec format {version} "
+                f"(this build reads format {SPEC_FORMAT_VERSION})"
+            )
+        return cls(
+            seed=int(data["seed"]),
+            scheduler=str(data["scheduler"]),
+            n_jobs=int(data.get("n_jobs", 12)),
+            span=float(data.get("span", 120.0)),
+            n_timesteps=int(data.get("n_timesteps", 6)),
+            atoms_per_axis=int(data.get("atoms_per_axis", 4)),
+            entries=tuple(
+                ScenarioEntry.from_json(e) for e in data.get("entries", ())
+            ),
+        )
+
+    def canonical(self) -> str:
+        """Canonical JSON text: the digest/byte-identity basis."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Short stable content hash (reproducer file names, summaries)."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()[:12]

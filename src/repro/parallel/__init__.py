@@ -4,6 +4,6 @@ See :mod:`repro.parallel.pool` for the design and the determinism
 argument (DESIGN.md §10).
 """
 
-from repro.parallel.pool import RunSpec, run_many
+from repro.parallel.pool import RunSpec, map_many, run_many
 
-__all__ = ["RunSpec", "run_many"]
+__all__ = ["RunSpec", "map_many", "run_many"]

@@ -28,7 +28,7 @@ from __future__ import annotations
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, TypeVar
 
 from repro.config import EngineConfig, FaultConfig, SchedulerConfig
 from repro.engine.results import RunResult
@@ -36,7 +36,10 @@ from repro.engine.runner import run_trace
 from repro.errors import WorkerCrashError
 from repro.workload.trace import Trace
 
-__all__ = ["RunSpec", "run_many"]
+__all__ = ["RunSpec", "map_many", "run_many"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 @dataclass(frozen=True)
@@ -86,42 +89,51 @@ def _execute_spec(spec: RunSpec) -> RunResult:
 @dataclass
 class _Attempt:
     index: int
-    spec: RunSpec
+    item: Any
     tries: int = 0
     future: Optional[Future] = field(default=None, repr=False)
 
 
-def run_many(
-    specs: Sequence[RunSpec],
+def map_many(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
     jobs: int = 1,
     max_retries: int = 2,
-) -> list[RunResult]:
-    """Run every spec and return results in spec order.
+) -> list[_R]:
+    """Apply ``fn`` to every item and return results in item order.
+
+    The generic fan-out primitive behind :func:`run_many` (and the fuzz
+    campaign driver, :mod:`repro.fuzz.campaign`): ``fn`` must be a
+    top-level callable that is a *pure function* of its pickled item —
+    every random draw seeded from inside the item — so the pool path is
+    bit-identical to the inline path.
 
     ``jobs <= 1`` runs inline in this process (no pool, no pickling) —
     the reference execution path.  ``jobs > 1`` fans out over a
-    ``ProcessPoolExecutor``; results are bit-identical to the inline
-    path because each run is a pure function of its spec.
+    ``ProcessPoolExecutor``; results come back in submission order,
+    never completion order.
 
     Raises
     ------
     WorkerCrashError
         When one task's worker process died abnormally more than
-        ``max_retries`` times.
+        ``max_retries`` times.  Deterministic exceptions raised by
+        ``fn`` itself propagate immediately — retrying cannot succeed.
     """
     if jobs < 0:
         raise ValueError("jobs must be >= 0")
-    if jobs <= 1 or len(specs) <= 1:
-        return [_execute_spec(spec) for spec in specs]
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
 
-    results: list[Optional[RunResult]] = [None] * len(specs)
-    pending = [_Attempt(i, spec) for i, spec in enumerate(specs)]
+    results: list[Optional[_R]] = [None] * len(items)
+    done = [False] * len(items)
+    pending = [_Attempt(i, item) for i, item in enumerate(items)]
     while pending:
         crashed: list[_Attempt] = []
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             for attempt in pending:
                 attempt.tries += 1
-                attempt.future = pool.submit(_execute_spec, attempt.spec)
+                attempt.future = pool.submit(fn, attempt.item)
             # Collect in submission order: a broken pool fails every
             # outstanding future, and ordered collection keeps retry
             # scheduling — and therefore results — deterministic.
@@ -129,6 +141,7 @@ def run_many(
                 assert attempt.future is not None
                 try:
                     results[attempt.index] = attempt.future.result()
+                    done[attempt.index] = True
                 except BrokenProcessPool:
                     if attempt.tries > max_retries:
                         raise WorkerCrashError(
@@ -139,8 +152,21 @@ def run_many(
                         ) from None
                     crashed.append(attempt)
         pending = crashed
-    out: list[RunResult] = []
-    for result in results:
-        assert result is not None  # every task either succeeded or raised
-        out.append(result)
+    out: list[_R] = []
+    for index, result in enumerate(results):
+        assert done[index]  # every task either succeeded or raised
+        out.append(result)  # type: ignore[arg-type]
     return out
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    max_retries: int = 2,
+) -> list[RunResult]:
+    """Run every spec and return results in spec order.
+
+    A thin wrapper over :func:`map_many` with :func:`_execute_spec` as
+    the worker function; see there for the determinism contract.
+    """
+    return map_many(_execute_spec, specs, jobs=jobs, max_retries=max_retries)

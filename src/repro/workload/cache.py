@@ -16,9 +16,12 @@ Guarantees:
   change to trace serialization or generation semantics bumps it and
   silently invalidates old entries;
 * **corruption safety** — unreadable or mismatched cache files are
-  discarded and the trace is regenerated; writes are atomic
+  unlinked and the trace is regenerated; writes are atomic
   (temp file + ``os.replace``), so a killed process never leaves a
-  half-written entry behind.
+  half-written entry behind.  A cache directory that cannot be written
+  (read-only, full disk) degrades to uncached generation with a
+  ``RuntimeWarning`` — never an exception, never a stale entry left
+  behind.
 
 Control via the ``REPRO_TRACE_CACHE`` environment variable: unset uses
 ``.repro_cache/traces`` under the working directory, a path overrides
@@ -31,6 +34,7 @@ import hashlib
 import json
 import os
 import uuid
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Optional
@@ -90,7 +94,12 @@ def _load_if_valid(path: Path, spec: DatasetSpec) -> Optional[Trace]:
             pass
         return None
     if trace.spec != spec:
-        # Hash collision or stale file under a reused name: regenerate.
+        # Hash collision or stale file under a reused name: discard it
+        # too, or every later lookup re-reads the useless entry.
+        try:
+            path.unlink()
+        except OSError:
+            pass
         return None
     return trace
 
@@ -122,6 +131,7 @@ def cached_generate_trace(
     trace = generate_trace(spec, params)
     if speedup != 1.0:
         trace = trace.rescale(speedup)
+    tmp: Optional[Path] = None
     try:
         directory.mkdir(parents=True, exist_ok=True)
         # Unique temp name per writer so concurrent workers filling the
@@ -131,7 +141,23 @@ def cached_generate_trace(
         tmp = directory / f".tmp-{uuid.uuid4().hex}-{path.name}"
         trace.save(tmp)
         os.replace(tmp, path)
-    except OSError:
-        # A read-only or full filesystem degrades to regeneration-only.
-        pass
+    except OSError as exc:
+        # A read-only or full filesystem degrades to regeneration-only:
+        # the freshly generated trace is still returned, nothing raises.
+        # Clean up defensively — a half-written temp file, and any
+        # unreadable entry _load_if_valid could not remove earlier, must
+        # not survive to poison later lookups.
+        for leftover in (tmp, path):
+            if leftover is None:
+                continue
+            try:
+                leftover.unlink()
+            except OSError:
+                pass
+        warnings.warn(
+            f"trace cache write to {path} failed ({exc}); "
+            "continuing without caching",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return trace

@@ -47,7 +47,11 @@ def engine(**kwargs):
 
 def result_fields(result):
     """``field name -> comparable value`` with wall-clock profiling
-    stripped (those fields measure real time by design)."""
+    stripped (those fields measure real time by design) and the
+    ``faults["crash_effective"]`` lifecycle flag stripped (a resumed run
+    records that its crash fired; the uninterrupted same-seed run never
+    armed one — metadata about the run's lifecycle, not simulation
+    output)."""
     out = {}
     for f in dataclasses.fields(result):
         if f.name in WALL_CLOCK_FIELDS:
@@ -57,6 +61,8 @@ def result_fields(result):
             out[f.name] = (value.shape, str(value.dtype), value.tobytes())
         elif f.name == "cache":
             out[f.name] = {k: v for k, v in value.items() if k != "overhead_ns"}
+        elif f.name == "faults":
+            out[f.name] = {k: v for k, v in value.items() if k != "crash_effective"}
         else:
             out[f.name] = repr(value)
     return out

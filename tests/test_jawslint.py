@@ -273,6 +273,61 @@ def test_cli_lint_subcommand(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# D007: unseeded RNG construction in fuzz scenario code
+# ---------------------------------------------------------------------------
+FUZZ_PATH = "src/repro/fuzz/build.py"
+
+
+def fuzz_hits(code, path=FUZZ_PATH):
+    return [(v.rule, v.line) for v in lint_source(textwrap.dedent(code), path=path)]
+
+
+D007_BAD = [
+    "import random\nrng = random.Random()\n",
+    "import numpy as np\nrng = np.random.default_rng()\n",
+    "import numpy\nrng = numpy.random.default_rng()\n",
+    "import numpy as np\nrng = np.random.RandomState()\n",
+]
+
+
+@pytest.mark.parametrize("code", D007_BAD)
+def test_d007_flags_unseeded_rng_in_fuzz_scope(code):
+    assert fuzz_hits(code) == [("D007", 2)]
+
+
+def test_d007_flags_system_random_even_seeded():
+    # OS entropy can never be reproduced, seed argument or not.
+    code = "import random\nrng = random.SystemRandom(42)\n"
+    assert fuzz_hits(code) == [("D007", 2)]
+
+
+def test_d007_silent_on_seeded_constructors():
+    code = (
+        "import random\n"
+        "import numpy as np\n"
+        'a = random.Random(f"{seed}:scenario")\n'
+        "b = np.random.default_rng(entry_seed)\n"
+        "c = np.random.RandomState(7)\n"
+    )
+    assert fuzz_hits(code) == []
+
+
+@pytest.mark.parametrize("code", D007_BAD)
+def test_d007_scoped_to_fuzz_paths_only(code):
+    assert fuzz_hits(code, path="src/repro/engine/simulator.py") == []
+
+
+def test_d007_suppression():
+    code = "import random\nrng = random.Random()  # jawslint: disable=D007 - doc example\n"
+    assert fuzz_hits(code) == []
+
+
+def test_d007_listed_in_rules():
+    assert "D007" in RULES
+    assert "fuzz" in RULES["D007"]
+
+
+# ---------------------------------------------------------------------------
 # The tree itself must stay clean (suppressions included).
 # ---------------------------------------------------------------------------
 def test_source_tree_is_clean():

@@ -748,6 +748,67 @@ class TestEngineIntegration:
         assert resumed.event_index == baseline_sim.event_index
         assert_identical(baseline, result)
 
+    def test_crash_resume_in_shedding_mode_restores_overload_state(self, tmp_path):
+        """Crash while brownout is in SHEDDING mode: the restored
+        snapshot must carry token-bucket levels, per-class quota slots
+        and EWMA signal history bit-identically, and the resumed run
+        must match the uninterrupted baseline."""
+        trace = small_flash_trace()
+        faults = FaultConfig(seed=5, transient_fault_rate=0.02)
+        cfg = protected_engine(faults=faults)
+
+        # Probe run: find the first event index at which the brownout
+        # controller sits in SHEDDING mode (determinism carries the
+        # index over to the crash run below).
+        probe = Simulator(trace, [make_scheduler("jaws2", trace, cfg)], cfg)
+        shedding_at: list[int] = []
+        probe_dispatch = probe._dispatch
+
+        def spy(ev):
+            probe_dispatch(ev)
+            if not shedding_at and probe.overload.brownout.mode is Mode.SHEDDING:
+                shedding_at.append(probe.event_index)
+
+        probe._dispatch = spy
+        baseline = probe.run()
+        assert shedding_at, "scenario never entered SHEDDING mode"
+        crash_at = shedding_at[0] + 5  # a few events into the episode
+
+        ckpt = CheckpointConfig(directory=str(tmp_path / "ckpt"), every_events=20)
+        crash_cfg = protected_engine(
+            faults=dataclasses.replace(faults, coordinator_crash_at=crash_at),
+            checkpoint=ckpt,
+        )
+        sim = Simulator(trace, [make_scheduler("jaws2", trace, crash_cfg)], crash_cfg)
+        with pytest.raises(CoordinatorCrash):
+            sim.run()
+        restored = Simulator.restore(tmp_path / "ckpt")
+
+        # Reference: a fresh run crashed exactly at the snapshot point
+        # the restore loaded; its live overload state is what the
+        # snapshot must reproduce field-for-field.
+        snap_index = restored.event_index
+        ref_cfg = protected_engine(
+            faults=dataclasses.replace(faults, coordinator_crash_at=snap_index),
+        )
+        ref = Simulator(trace, [make_scheduler("jaws2", trace, ref_cfg)], ref_cfg)
+        if snap_index > 0:
+            with pytest.raises(CoordinatorCrash):
+                ref.run()
+        r_ov, x_ov = restored.overload, ref.overload
+        assert r_ov.admission.limiter._buckets == x_ov.admission.limiter._buckets
+        assert r_ov.class_slots == x_ov.class_slots
+        assert sorted(r_ov.pending) == sorted(x_ov.pending)
+        assert r_ov.brownout.mode is x_ov.brownout.mode
+        assert r_ov.brownout.queue_signal == x_ov.brownout.queue_signal
+        assert r_ov.brownout.response_signal == x_ov.brownout.response_signal
+        assert r_ov.brownout.transitions == x_ov.brownout.transitions
+        assert r_ov.brownout._mode_since == x_ov.brownout._mode_since
+
+        # And the resumed run replays through the SHEDDING episode to a
+        # result bit-identical with the uninterrupted baseline.
+        assert_identical(baseline, restored.run())
+
 
 # ---------------------------------------------------------------------------
 # CLI surface

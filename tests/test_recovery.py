@@ -108,6 +108,54 @@ def test_crash_window_draws_deterministic_point():
     assert 10 <= sims[0].injector.crash_at < 200
 
 
+def test_crash_window_past_trace_end_is_clamped_and_fires(tmp_path):
+    """A window drawn entirely past the trace's last event used to
+    schedule a crash that never fired (silently testing nothing).  The
+    injector now clamps window draws to the guaranteed event floor, so
+    the crash always lands inside the live range — and the run is still
+    resumable to a bit-identical result."""
+    trace = small_trace()
+    baseline = build_sim(trace, "jaws2").run()
+
+    faults = dataclasses.replace(FAULTS, coordinator_crash_window=(100_000, 200_000))
+    ckpt_dir = tmp_path / "ckpt-window"
+    cfg = engine(
+        faults=faults,
+        checkpoint=CheckpointConfig(directory=str(ckpt_dir), every_events=10),
+        sanitize=True,
+    )
+    sim = Simulator(trace, [make_scheduler("jaws2", trace, cfg)], cfg)
+    guaranteed = len(trace.jobs) + 2 * len(faults.node_crashes)
+    assert 1 <= sim.injector.crash_at < guaranteed
+    with pytest.raises(CoordinatorCrash):
+        sim.run()
+    resumed = Simulator.restore(ckpt_dir).run()
+    assert_identical(baseline, resumed)
+    # The resumed result reports that its lifecycle really crashed.
+    assert resumed.faults["crash_effective"] is True
+
+
+def test_explicit_crash_at_is_not_clamped():
+    """Only window draws are clamped; an explicit index is honored
+    verbatim (callers probing past-the-end behavior on purpose)."""
+    trace = small_trace()
+    sim = build_sim(trace, "jaws2", crash_at=100_000)
+    assert sim.injector.crash_at == 100_000
+    result = sim.run()  # never reaches event 100000 -> completes
+    assert result.faults["crash_effective"] is False
+
+
+def test_crash_effective_reported_on_completed_armed_run():
+    """crash_effective distinguishes 'armed and fired' from 'armed but
+    the run ended first' — and is excluded from bit-identity."""
+    trace = small_trace()
+    armed = build_sim(trace, "jaws2", crash_at=100_000).run()
+    unarmed = build_sim(trace, "jaws2").run()
+    assert armed.faults["crash_effective"] is False
+    assert unarmed.faults["crash_effective"] is False
+    assert_identical(armed, unarmed)
+
+
 def test_restore_disarms_crash_and_keeps_wal_appendable(tmp_path):
     trace = small_trace()
     ckpt_dir = crash_and_leave_artifacts(tmp_path, trace, "jaws2", crash_at=40)

@@ -151,8 +151,51 @@ def test_spec_mismatch_regenerates(tmp_path):
 def test_unwritable_cache_degrades_to_regeneration(tmp_path):
     blocker = tmp_path / "blocker"
     blocker.write_text("a file where the cache dir should be")
-    trace = cached_generate_trace(SPEC, PARAMS, cache_dir=blocker / "traces")
+    with pytest.warns(RuntimeWarning, match="continuing without caching"):
+        trace = cached_generate_trace(SPEC, PARAMS, cache_dir=blocker / "traces")
     assert_traces_identical(trace, generate_trace(SPEC, PARAMS))
+
+
+def test_replace_failure_warns_and_cleans_up(tmp_path, monkeypatch):
+    """A failing os.replace (read-only dir discovered at publish time)
+    degrades to uncached generation with a warning — and leaves neither
+    the temp file nor a stale entry behind to poison later lookups."""
+    real_replace = cache_module.os.replace
+
+    def broken_replace(src, dst):
+        raise OSError(30, "Read-only file system", str(dst))
+
+    monkeypatch.setattr(cache_module.os, "replace", broken_replace)
+    with pytest.warns(RuntimeWarning, match="continuing without caching"):
+        trace = cached_generate_trace(SPEC, PARAMS, cache_dir=tmp_path)
+    assert_traces_identical(trace, generate_trace(SPEC, PARAMS))
+    assert not list(tmp_path.glob(".tmp-*"))
+    assert not cache_files(tmp_path)
+
+    # The cache stays usable once the filesystem recovers.
+    monkeypatch.setattr(cache_module.os, "replace", real_replace)
+    healed = cached_generate_trace(SPEC, PARAMS, cache_dir=tmp_path)
+    assert_traces_identical(healed, trace)
+    assert len(cache_files(tmp_path)) == 1
+
+
+def test_replace_failure_unlinks_stale_entry(tmp_path, monkeypatch):
+    """When a stale unreadable entry occupies the target name AND the
+    atomic publish fails, the defensive unlink removes the stale file so
+    later lookups regenerate instead of re-reading garbage."""
+    key = trace_cache_key(SPEC, PARAMS, 1.0)
+    target = tmp_path / f"trace-v{cache_module._FORMAT_VERSION}-{key}.npz"
+    target.write_bytes(b"garbage that Trace.load rejects")
+
+    def broken_replace(src, dst):
+        raise OSError(28, "No space left on device", str(dst))
+
+    monkeypatch.setattr(cache_module.os, "replace", broken_replace)
+    with pytest.warns(RuntimeWarning, match="continuing without caching"):
+        trace = cached_generate_trace(SPEC, PARAMS, cache_dir=tmp_path)
+    assert_traces_identical(trace, generate_trace(SPEC, PARAMS))
+    assert not target.exists()
+    assert not list(tmp_path.glob(".tmp-*"))
 
 
 # ---------------------------------------------------------------------------
