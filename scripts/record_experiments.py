@@ -66,12 +66,15 @@ def main() -> None:
     }
     names = args.only or list(artifacts)
     for name in names:
-        t0 = time.time()
+        # Wall-clock reads below time the *recording harness*, never the
+        # simulation: the engine advances only its virtual clock, and the
+        # _wall_s entries are operator-facing progress bookkeeping.
+        t0 = time.time()  # jawslint: disable=D001 - harness progress timing, outside the engine
         print(f"[{time.strftime('%H:%M:%S')}] running {name} ...", flush=True)
         results[name] = artifacts[name]()
-        results[name + "_wall_s"] = round(time.time() - t0, 1)
+        results[name + "_wall_s"] = round(time.time() - t0, 1)  # jawslint: disable=D001 - harness progress timing, outside the engine
         out_path.write_text(json.dumps(results, indent=2, default=float))
-        print(f"  done in {time.time() - t0:.0f}s -> {out_path}", flush=True)
+        print(f"  done in {time.time() - t0:.0f}s -> {out_path}", flush=True)  # jawslint: disable=D001 - harness progress timing, outside the engine
 
 
 if __name__ == "__main__":

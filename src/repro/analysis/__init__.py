@@ -1,11 +1,21 @@
 """Correctness tooling for the JAWS reproduction.
 
 Two independent prongs guard the simulator's determinism contract
-(DESIGN.md §7):
+(DESIGN.md §7, §12):
 
-* :mod:`repro.analysis.lint` — ``jawslint``, a stdlib-``ast`` static
-  analysis pass with project-specific determinism rules (D001–D006),
-  runnable as ``repro lint`` or ``python -m repro.analysis.lint``;
+* ``jawslint`` — static analysis, now in two layers sharing one driver
+  (:func:`repro.analysis.lint.run_analysis`):
+
+  - :mod:`repro.analysis.lint` — per-file determinism rules
+    (D001–D007) plus the report/baseline/CLI plumbing;
+  - :mod:`repro.analysis.project`, :mod:`repro.analysis.callgraph`,
+    :mod:`repro.analysis.rules_interproc` — the whole-program passes
+    (D100 RNG stream provenance, D200 checkpoint state-capture
+    completeness, D300 transitive parallel-worker purity) over a
+    project model and conservative call graph;
+  - :mod:`repro.analysis.baseline` — the checked-in suppression
+    ledger (every entry carries a written rationale);
+
 * :mod:`repro.analysis.sanitizer` — a runtime invariant checker wired
   into the discrete-event engine via ``EngineConfig(sanitize=True)``,
   raising :class:`~repro.errors.InvariantViolation` with a full state
@@ -17,14 +27,22 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 __all__ = [
+    "AnalysisReport",
     "LintViolation",
     "lint_paths",
     "lint_source",
+    "run_analysis",
     "SimulationSanitizer",
 ]
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.analysis.lint import LintViolation, lint_paths, lint_source
+    from repro.analysis.lint import (
+        AnalysisReport,
+        LintViolation,
+        lint_paths,
+        lint_source,
+        run_analysis,
+    )
     from repro.analysis.sanitizer import SimulationSanitizer
 
 
@@ -32,7 +50,7 @@ def __getattr__(name: str) -> object:
     # Lazy re-exports: keeps ``python -m repro.analysis.lint`` from
     # importing the submodule twice (runpy RuntimeWarning) and spares
     # the engine from loading the linter machinery it never uses.
-    if name in {"LintViolation", "lint_paths", "lint_source"}:
+    if name in {"AnalysisReport", "LintViolation", "lint_paths", "lint_source", "run_analysis"}:
         from repro.analysis import lint
 
         return getattr(lint, name)

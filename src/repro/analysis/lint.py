@@ -1,10 +1,22 @@
-"""``jawslint`` — determinism lint for the simulation codebase.
+"""``jawslint`` — whole-program determinism analysis for the codebase.
 
 The reproduction's claims (workload-throughput ordering, gating-edge
 deadlock freedom, two-level batching) are only checkable because the
 discrete-event simulator is bit-for-bit deterministic under a seed.
 This module statically enforces the coding rules that contract rests
-on, using nothing but the stdlib :mod:`ast`:
+on, using nothing but the stdlib :mod:`ast`.
+
+Two layers share one driver (:func:`run_analysis`):
+
+* **per-file rules** D001–D007 — single-pass AST checks, below;
+* **whole-program rules** D100/D101 (RNG stream provenance), D200/D201
+  (checkpoint state-capture completeness) and D300 (transitive
+  parallel-worker purity), which run over a project model + call graph
+  built from every ``repro.*`` module found under the linted paths —
+  see :mod:`repro.analysis.project`, :mod:`repro.analysis.callgraph`
+  and :mod:`repro.analysis.rules_interproc`.
+
+Per-file rule table:
 
 ========  ==========================================================
 rule      what it flags
@@ -46,13 +58,20 @@ D007      *fuzz seeding* (scoped to files under a ``fuzz`` package):
 Suppression: append ``# jawslint: disable=D003`` (comma-separate for
 several rules, omit ``=…`` to disable all) to the flagged line, with a
 comment saying *why* the construct is safe.  A file-wide escape hatch
-``# jawslint: disable-file=D001`` exists for generated code.
+``# jawslint: disable-file=D001`` exists for generated code.  Findings
+that are properties of a whole symbol rather than a line (typical for
+D100–D300) go in the checked-in baseline ledger instead
+(:mod:`repro.analysis.baseline`; ``jawslint-baseline.json``), where
+every entry must carry a written rationale.
 
 Run as ``repro lint [paths…]`` or ``python -m repro.analysis.lint
-src tests``; exits non-zero when violations remain.  The rule corpus
-is exercised by ``tests/test_jawslint.py`` against good/bad fixture
-snippets, and ``tests/test_jawslint.py::test_source_tree_is_clean``
-keeps ``src/repro`` clean at HEAD.
+src tests``; exits non-zero when violations remain.  ``--format
+json|sarif`` emits a machine-readable report (including the analyzer's
+own ``timing_s``, so CI can watch for runtime regressions); ``--out``
+writes it to a file while keeping human-readable text on stdout.  The
+rule corpus is exercised by ``tests/test_jawslint.py`` and
+``tests/test_jawslint_interproc.py`` against good/bad fixture snippets,
+and ``test_source_tree_is_clean`` keeps ``src/repro`` clean at HEAD.
 """
 
 from __future__ import annotations
@@ -60,16 +79,20 @@ from __future__ import annotations
 import ast
 import re
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
+    "DEFAULT_BASELINE",
+    "INTERPROC_RULES",
     "RULES",
+    "AnalysisReport",
     "LintViolation",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "run_analysis",
     "main",
 ]
 
@@ -82,7 +105,16 @@ RULES: Dict[str, str] = {
     "D005": "float equality comparison against the virtual clock",
     "D006": "wall-clock or process-identity read in parallel-worker code",
     "D007": "unseeded RNG construction in fuzz scenario code (pass an explicit seed)",
+    "D100": "RNG draw on a stream owned by another subsystem",
+    "D101": "seeded RNG stream handed across an engine/fault/fuzz scope boundary",
+    "D200": "snapshot-participating attribute holds a statically-unpicklable value",
+    "D201": "__setstate__ does not restore every attribute the class assigns",
+    "D300": "impure call reachable from a parallel worker entry point",
 }
+
+#: Rules that need the whole-program project model (run by
+#: :func:`run_analysis`, not by the per-file visitors).
+INTERPROC_RULES = ("D100", "D101", "D200", "D201", "D300")
 
 _WALL_CLOCK_TIME_FNS = frozenset(
     {
@@ -145,16 +177,33 @@ _CLOCK_NAMES = frozenset({"clock", "now", "sim_time", "virtual_time"})
 
 @dataclass(frozen=True)
 class LintViolation:
-    """One lint finding."""
+    """One lint finding.
+
+    ``symbol`` is the enclosing dotted definition (``Class.method`` or
+    ``function``; empty at module level) — the stable coordinate the
+    baseline ledger matches on, so line-number churn never invalidates
+    a recorded suppression.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    symbol: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": str(Path(self.path).as_posix()),
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
 
 
 def _parse_suppressions(source: str) -> Tuple[Dict[int, Optional[Set[str]]], Optional[Set[str]]]:
@@ -251,6 +300,7 @@ class _Linter(ast.NodeVisitor):
         self.parallel_scope = _is_parallel_scope(path)
         self.fuzz_scope = _is_fuzz_scope(path)
         self.violations: List[LintViolation] = []
+        self._scope: List[str] = []
 
     # -- plumbing -----------------------------------------------------------
     def _flag(self, node: ast.AST, rule: str, detail: str) -> None:
@@ -261,8 +311,14 @@ class _Linter(ast.NodeVisitor):
                 col=getattr(node, "col_offset", 0),
                 rule=rule,
                 message=f"{RULES[rule]}: {detail}",
+                symbol=".".join(self._scope),
             )
         )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
 
     # -- imports ------------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -421,11 +477,15 @@ class _Linter(ast.NodeVisitor):
     # -- D004: mutable defaults ---------------------------------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._scope.append(node.name)
         self.generic_visit(node)
+        self._scope.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._scope.append(node.name)
         self.generic_visit(node)
+        self._scope.pop()
 
     def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         defaults: List[ast.expr] = [*node.args.defaults]
@@ -467,14 +527,13 @@ class _Linter(ast.NodeVisitor):
         return None
 
 
-def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
-    """Lint one module's source text; returns surviving violations."""
-    tree = ast.parse(source, filename=path)
-    linter = _Linter(path, _ImportTracker())
-    linter.visit(tree)
-    per_line, file_wide = _parse_suppressions(source)
+def _filter_suppressed(
+    violations: Iterable[LintViolation],
+    per_line: Dict[int, Optional[Set[str]]],
+    file_wide: Optional[Set[str]],
+) -> List[LintViolation]:
     out: List[LintViolation] = []
-    for violation in linter.violations:
+    for violation in violations:
         if file_wide is not None and violation.rule in file_wide:
             continue
         if violation.line in per_line:
@@ -483,6 +542,15 @@ def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
                 continue
         out.append(violation)
     return out
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintViolation]:
+    """Lint one module's source text; returns surviving violations."""
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, _ImportTracker())
+    linter.visit(tree)
+    per_line, file_wide = _parse_suppressions(source)
+    return _filter_suppressed(linter.violations, per_line, file_wide)
 
 
 def lint_file(path: Path) -> List[LintViolation]:
@@ -532,19 +600,217 @@ def lint_paths(paths: Sequence[str | Path]) -> List[LintViolation]:
     return violations
 
 
+# ---------------------------------------------------------------------------
+# Whole-program analysis driver
+# ---------------------------------------------------------------------------
+
+#: Default ledger file, auto-loaded from the working directory when
+#: present (see :mod:`repro.analysis.baseline`).
+DEFAULT_BASELINE = "jawslint-baseline.json"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced, renderable as text, JSON
+    or SARIF.  ``timing_s`` is part of the machine-readable output so
+    CI trends catch analyzer-runtime regressions (the whole-tree run
+    must stay under its 10 s budget)."""
+
+    paths: List[str]
+    violations: List[LintViolation]
+    files: int
+    timing_s: float
+    interproc: bool
+    baseline_path: Optional[str] = None
+    baseline_suppressed: int = 0
+    baseline_unused: List[Dict[str, str]] = field(default_factory=list)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "tool": "jawslint",
+            "format_version": 1,
+            "paths": self.paths,
+            "interproc": self.interproc,
+            "rules": dict(sorted(RULES.items())),
+            "files": self.files,
+            "timing_s": round(self.timing_s, 4),
+            "violations": [v.to_json() for v in self.violations],
+            "baseline": (
+                None
+                if self.baseline_path is None
+                else {
+                    "path": self.baseline_path,
+                    "suppressed": self.baseline_suppressed,
+                    "unused": self.baseline_unused,
+                }
+            ),
+        }
+
+    def to_sarif_dict(self) -> Dict[str, object]:
+        """Minimal SARIF 2.1.0 document (one run, one result per
+        violation) for code-scanning UIs."""
+        rules = [
+            {"id": rule, "shortDescription": {"text": description}}
+            for rule, description in sorted(RULES.items())
+        ]
+        results = [
+            {
+                "ruleId": v.rule,
+                "level": "error",
+                "message": {"text": v.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": str(Path(v.path).as_posix())
+                            },
+                            "region": {
+                                "startLine": v.line,
+                                "startColumn": max(v.col, 0) + 1,
+                            },
+                        },
+                        "logicalLocations": (
+                            [{"fullyQualifiedName": v.symbol}] if v.symbol else []
+                        ),
+                    }
+                ],
+            }
+            for v in self.violations
+        ]
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "jawslint",
+                            "informationUri": "https://example.invalid/jawslint",
+                            "rules": rules,
+                        }
+                    },
+                    "results": results,
+                    "properties": {
+                        "timing_s": round(self.timing_s, 4),
+                        "files": self.files,
+                    },
+                }
+            ],
+        }
+
+
+def _suppress_interproc(violations: List[LintViolation]) -> List[LintViolation]:
+    """Apply each file's inline ``# jawslint: disable`` pragmas to
+    whole-program findings (the interprocedural passes see ASTs, not
+    comments)."""
+    by_path: Dict[str, List[LintViolation]] = {}
+    for violation in violations:
+        by_path.setdefault(violation.path, []).append(violation)
+    out: List[LintViolation] = []
+    for path, group in by_path.items():
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            out.extend(group)
+            continue
+        per_line, file_wide = _parse_suppressions(source)
+        out.extend(_filter_suppressed(group, per_line, file_wide))
+    return out
+
+
+def run_analysis(
+    paths: Sequence[str | Path],
+    *,
+    interproc: bool = True,
+    baseline: Optional["object"] = None,
+    interproc_config: Optional["object"] = None,
+) -> AnalysisReport:
+    """Run the per-file rules and (optionally) the whole-program passes
+    over ``paths``, apply inline suppressions and the baseline ledger,
+    and return the full report.
+
+    ``baseline`` is a :class:`repro.analysis.baseline.Baseline`;
+    ``interproc_config`` a :class:`repro.analysis.rules_interproc.
+    InterprocConfig` (both typed loosely here to keep this module
+    import-light for the common per-file path).
+    """
+    import time as _time  # local so per-file users never pay the import
+
+    t0 = _time.perf_counter()  # jawslint: disable=D001 - analyzer self-timing, never enters simulation state
+    path_objs = [Path(p) for p in paths]
+    files = sum(1 for _ in _iter_python_files(path_objs))
+    violations = lint_paths(paths)
+    if interproc:
+        from repro.analysis.project import ProjectModel
+        from repro.analysis.rules_interproc import InterprocConfig, run_interproc
+
+        model = ProjectModel.from_paths(path_objs)
+        config = interproc_config if interproc_config is not None else InterprocConfig()
+        raw = run_interproc(model, config)  # type: ignore[arg-type]
+        violations.extend(_suppress_interproc(raw))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    report = AnalysisReport(
+        paths=[str(p) for p in paths],
+        violations=violations,
+        files=files,
+        timing_s=0.0,
+        interproc=interproc,
+    )
+    if baseline is not None:
+        surviving, suppressed, unused = baseline.apply(violations)  # type: ignore[attr-defined]
+        report.violations = surviving
+        report.baseline_path = baseline.path  # type: ignore[attr-defined]
+        report.baseline_suppressed = suppressed
+        report.baseline_unused = [
+            {"rule": e.rule, "path": e.path, "symbol": e.symbol} for e in unused
+        ]
+    report.timing_s = _time.perf_counter() - t0  # jawslint: disable=D001 - analyzer self-timing, never enters simulation state
+    return report
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point: ``python -m repro.analysis.lint [paths…]``."""
     import argparse
+    import json
 
     parser = argparse.ArgumentParser(
         prog="jawslint",
-        description="determinism lint for the JAWS simulation codebase",
+        description="whole-program determinism analysis for the JAWS codebase",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories (default: src)"
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the --format report to PATH (stdout keeps the text render)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"suppression baseline ledger (default: ./{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline ledger, report every finding",
+    )
+    parser.add_argument(
+        "--no-interproc",
+        action="store_true",
+        help="per-file rules only (skip the D100/D200/D300 whole-program passes)",
     )
     args = parser.parse_args(argv)
     if args.list_rules:
@@ -555,11 +821,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if missing:
         print(f"jawslint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    violations = lint_paths(args.paths)
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        print(f"jawslint: {len(violations)} violation(s)", file=sys.stderr)
+
+    baseline = None
+    if not args.no_baseline:
+        baseline_path: Optional[Path] = None
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+        elif Path(DEFAULT_BASELINE).is_file():
+            baseline_path = Path(DEFAULT_BASELINE)
+        if baseline_path is not None:
+            from repro.analysis.baseline import Baseline, BaselineError
+
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as exc:
+                print(f"jawslint: {exc}", file=sys.stderr)
+                return 2
+
+    report = run_analysis(
+        args.paths, interproc=not args.no_interproc, baseline=baseline
+    )
+
+    if args.fmt == "json":
+        rendered = json.dumps(report.to_json_dict(), indent=2, sort_keys=True)
+    elif args.fmt == "sarif":
+        rendered = json.dumps(report.to_sarif_dict(), indent=2, sort_keys=True)
+    else:
+        rendered = None
+    if args.out is not None:
+        if rendered is None:
+            rendered = "\n".join(v.render() for v in report.violations)
+        Path(args.out).write_text(rendered + "\n" if rendered else "")
+        for violation in report.violations:
+            print(violation.render())
+    elif rendered is not None:
+        print(rendered)
+    else:
+        for violation in report.violations:
+            print(violation.render())
+
+    for entry in report.baseline_unused:
+        print(
+            "jawslint: unused baseline entry: "
+            f"{entry['rule']} {entry['path']} {entry['symbol']}",
+            file=sys.stderr,
+        )
+    if report.violations:
+        print(f"jawslint: {len(report.violations)} violation(s)", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,409 @@
+"""Whole-program project model for the determinism analyzer.
+
+``jawslint``'s original rules (D001–D007) are per file, per AST node.
+The interprocedural rule families (D100 RNG provenance, D200 checkpoint
+state-capture completeness, D300 transitive worker purity — see
+:mod:`repro.analysis.rules_interproc`) need a *project* view instead:
+
+* a **module table** — every ``repro.*`` module with its import-alias
+  map, top-level functions, and classes;
+* a **class attribute inventory** — every ``self.x = …`` assignment
+  across all methods of a class, with the assigning method and the RHS
+  expression kept for later classification (RNG constructor?
+  statically-unpicklable value? instance of a project class?);
+* a **function index** — every function and method under a stable
+  dotted qualname, so the call graph (:mod:`repro.analysis.callgraph`)
+  can name nodes.
+
+The model is *syntactic and conservative*: it never imports or executes
+the analyzed code, only parses it, so it is safe to run over arbitrary
+trees (fixtures, CI checkouts) and fast enough to gate every push.
+
+Module naming: files under a directory literally named ``repro`` get
+the dotted name of their path below that directory (``src/repro/engine/
+faults.py`` → ``repro.engine.faults``).  Files outside any ``repro``
+package (scripts, examples) are not part of the whole-program domain —
+the per-file rules still cover them, the interprocedural passes do not.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "AttrAssign",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "module_name_for_path",
+    "scope_family",
+    "subsystem_of",
+]
+
+
+def module_name_for_path(path: Path) -> Optional[str]:
+    """Dotted module name for ``path`` if it lives under a ``repro``
+    package directory, else ``None`` (outside the whole-program domain).
+    """
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")  # last 'repro' dir
+    dotted = parts[anchor:]
+    if dotted[-1].endswith(".py"):
+        dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+def subsystem_of(module: str) -> str:
+    """Owning subsystem of a module: the package level below ``repro``
+    (``repro.engine.faults`` → ``engine``), or the top package for
+    flat modules (``repro.cli`` → ``repro``)."""
+    parts = module.split(".")
+    if parts[0] == "repro" and len(parts) > 2:
+        return parts[1]
+    if parts[0] == "repro" and len(parts) == 2:
+        return parts[1]
+    return parts[0]
+
+
+def scope_family(module: str) -> str:
+    """Determinism scope family of a module: ``fuzz`` for the scenario
+    fuzzer, ``fault`` for fault-injection modules, ``engine`` for
+    everything else.  A seeded RNG stream must never be shared across
+    families (rule D101) — cross-stream draws are a determinism race.
+    """
+    if subsystem_of(module) == "fuzz":
+        return "fuzz"
+    tail = module.rsplit(".", 1)[-1]
+    if "fault" in tail:
+        return "fault"
+    return "engine"
+
+
+class ImportMap:
+    """Resolve local names back to the dotted path they alias.
+
+    Mirrors the per-file linter's import tracking but is reusable by
+    the project passes; ``resolve`` rewrites the first segment of a
+    dotted name through the alias map.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    self.aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    self.aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                return  # relative imports stay unresolved (conservative)
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        origin = self.aliases.get(head, head)
+        return f"{origin}.{rest}" if rest else origin
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class AttrAssign:
+    """One ``self.<name> = <value>`` assignment inside a method."""
+
+    name: str
+    method: str
+    lineno: int
+    col: int
+    value: Optional[ast.expr]  # None for bare annotations / aug-assigns
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by dotted qualname."""
+
+    module: str
+    qualname: str  # repro.engine.runner.run_trace / ….Simulator.run
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: Optional[str] = None  # short name of the owning class
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, and the full self-attribute inventory."""
+
+    module: str
+    qualname: str
+    name: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)  # import-resolved dotted
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_assigns: List[AttrAssign] = field(default_factory=list)
+
+    @property
+    def has_getstate(self) -> bool:
+        return "__getstate__" in self.methods
+
+    @property
+    def has_setstate(self) -> bool:
+        return "__setstate__" in self.methods
+
+    def getstate_is_dict_copy(self) -> bool:
+        """True when ``__getstate__`` starts from ``self.__dict__`` /
+        ``vars(self)`` — such a snapshot is complete by construction,
+        so the D201 completeness cross-check does not apply."""
+        fn = self.methods.get("__getstate__")
+        if fn is None:
+            return False
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Attribute) and sub.attr == "__dict__":
+                return True
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "vars"
+            ):
+                return True
+        return False
+
+    def attrs_assigned_outside(self, *methods: str) -> Dict[str, AttrAssign]:
+        """First assignment site per attribute, skipping ``methods``."""
+        out: Dict[str, AttrAssign] = {}
+        skip = set(methods)
+        for assign in self.attr_assigns:
+            if assign.method in skip:
+                continue
+            out.setdefault(assign.name, assign)
+        return out
+
+    def attrs_assigned_in(self, method: str) -> List[str]:
+        return [a.name for a in self.attr_assigns if a.method == method]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    imports: ImportMap
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+    @property
+    def subsystem(self) -> str:
+        return subsystem_of(self.name)
+
+    @property
+    def scope(self) -> str:
+        return scope_family(self.name)
+
+
+def _collect_attr_assigns(cls: ClassInfo) -> None:
+    """Fill ``cls.attr_assigns`` from every ``self.x = …`` /
+    ``self.x: T = …`` / ``self.x += …`` in every method body."""
+    for method_name, fn in cls.methods.items():
+        for sub in ast.walk(fn.node):
+            targets: List[Tuple[ast.expr, Optional[ast.expr]]] = []
+            if isinstance(sub, ast.Assign):
+                targets = [(t, sub.value) for t in sub.targets]
+            elif isinstance(sub, ast.AnnAssign):
+                targets = [(sub.target, sub.value)]
+            elif isinstance(sub, ast.AugAssign):
+                targets = [(sub.target, None)]
+            for target, value in targets:
+                if isinstance(target, ast.Tuple):
+                    for element in target.elts:
+                        targets.append((element, None))
+                    continue
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cls.attr_assigns.append(
+                        AttrAssign(
+                            name=target.attr,
+                            method=method_name,
+                            lineno=target.lineno,
+                            col=target.col_offset,
+                            value=value,
+                        )
+                    )
+
+
+def _build_module(name: str, source: str, path: str) -> ModuleInfo:
+    tree = ast.parse(source, filename=path)
+    imports = ImportMap()
+    for node in ast.walk(tree):
+        imports.visit(node)
+    mod = ModuleInfo(name=name, path=path, tree=tree, imports=imports)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{name}.{node.name}"
+            mod.functions[node.name] = FunctionInfo(
+                module=name, qualname=qualname, name=node.name, node=node
+            )
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(
+                module=name,
+                qualname=f"{name}.{node.name}",
+                name=node.name,
+                node=node,
+                bases=[
+                    imports.resolve(base_name)
+                    for base in node.bases
+                    if (base_name := dotted_name(base)) is not None
+                ],
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = FunctionInfo(
+                        module=name,
+                        qualname=f"{cls.qualname}.{item.name}",
+                        name=item.name,
+                        node=item,
+                        class_name=cls.name,
+                    )
+            _collect_attr_assigns(cls)
+            mod.classes[node.name] = cls
+    return mod
+
+
+class ProjectModel:
+    """The whole-program view the interprocedural passes run over."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}  # by qualname
+        self._classes_by_short: Dict[str, List[ClassInfo]] = {}
+        self._methods_by_name: Dict[str, List[FunctionInfo]] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_module(self, name: str, source: str, path: str) -> None:
+        """Parse and index one module (syntax errors are reported by the
+        per-file pass; here they simply drop the module from the model)."""
+        try:
+            mod = _build_module(name, source, path)
+        except SyntaxError:
+            return
+        self.modules[name] = mod
+        for fn in mod.functions.values():
+            self.functions[fn.qualname] = fn
+        for cls in mod.classes.values():
+            self.classes[cls.qualname] = cls
+            self._classes_by_short.setdefault(cls.name, []).append(cls)
+            for method in cls.methods.values():
+                self.functions[method.qualname] = method
+                self._methods_by_name.setdefault(method.name, []).append(method)
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "ProjectModel":
+        """Build a model from ``{dotted module name: source}`` (tests)."""
+        model = cls()
+        for name in sorted(sources):
+            pseudo_path = name.replace(".", "/") + ".py"
+            model.add_module(name, sources[name], pseudo_path)
+        return model
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Path]) -> "ProjectModel":
+        """Build a model from every ``repro``-package file under
+        ``paths`` (files outside a ``repro`` directory are skipped)."""
+        model = cls()
+        seen: set[str] = set()
+        files: List[Path] = []
+        for path in paths:
+            if path.is_dir():
+                files.extend(
+                    p
+                    for p in sorted(path.rglob("*.py"))
+                    if "__pycache__" not in p.parts
+                )
+            elif path.suffix == ".py":
+                files.append(path)
+        for file_path in files:
+            name = module_name_for_path(file_path)
+            if name is None or name in seen:
+                continue
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue
+            seen.add(name)
+            model.add_module(name, source, str(file_path))
+        return model
+
+    # -- lookups ------------------------------------------------------------
+    def classes_named(self, short_name: str) -> List[ClassInfo]:
+        return self._classes_by_short.get(short_name, [])
+
+    def methods_named(self, method_name: str) -> List[FunctionInfo]:
+        return self._methods_by_name.get(method_name, [])
+
+    def resolve_class(self, module: str, name: str) -> Optional[ClassInfo]:
+        """Resolve ``name`` as used inside ``module`` to a project class:
+        local class, import-resolved dotted path, or unique short name."""
+        mod = self.modules.get(module)
+        if mod is not None:
+            if name in mod.classes:
+                return mod.classes[name]
+            resolved = mod.imports.resolve(name)
+            if resolved in self.classes:
+                return self.classes[resolved]
+            # `from repro.x import Cls` resolves to repro.x.Cls directly;
+            # `import repro.x` + repro.x.Cls arrives here already dotted.
+            if resolved != name and resolved in self.classes:
+                return self.classes[resolved]
+        if name in self.classes:
+            return self.classes[name]
+        short = name.rsplit(".", 1)[-1]
+        candidates = self.classes_named(short)
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def subclasses_of(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Direct project subclasses of ``cls`` (bases resolved through
+        each defining module's imports)."""
+        out: List[ClassInfo] = []
+        for candidate in self.classes.values():
+            for base in candidate.bases:
+                resolved = self.resolve_class(candidate.module, base)
+                if resolved is cls:
+                    out.append(candidate)
+                    break
+        return out
+
+    def iter_functions(self) -> Iterable[FunctionInfo]:
+        return self.functions.values()

@@ -279,7 +279,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     lint_p = sub.add_parser(
-        "lint", help="run the jawslint determinism rules (D001-D007) over source trees"
+        "lint",
+        help="run the jawslint determinism analysis (per-file D001-D007 + "
+        "whole-program D100/D200/D300) over source trees",
     )
     lint_p.add_argument(
         "paths", nargs="*", default=["src", "tests"],
@@ -287,6 +289,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    lint_p.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (default: text)",
+    )
+    lint_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the --format report to PATH (stdout keeps the text render)",
+    )
+    lint_p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppression baseline ledger (default: ./jawslint-baseline.json when present)",
+    )
+    lint_p.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline ledger, report every finding",
+    )
+    lint_p.add_argument(
+        "--no-interproc", action="store_true",
+        help="per-file rules only (skip the whole-program passes)",
     )
 
     fuzz_p = sub.add_parser(
@@ -628,6 +650,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     argv = list(args.paths)
     if args.list_rules:
         argv.insert(0, "--list-rules")
+    if args.format != "text":
+        argv = ["--format", args.format, *argv]
+    if args.out is not None:
+        argv = ["--out", args.out, *argv]
+    if args.baseline is not None:
+        argv = ["--baseline", args.baseline, *argv]
+    if args.no_baseline:
+        argv = ["--no-baseline", *argv]
+    if args.no_interproc:
+        argv = ["--no-interproc", *argv]
     return lint.main(argv)
 
 
