@@ -36,7 +36,7 @@ from repro.config import (
 )
 from repro.engine.results import RunResult
 from repro.engine.runner import SCHEDULER_NAMES, run_trace
-from repro.errors import CoordinatorCrash, RecoveryError
+from repro.errors import CoordinatorCrash, JournalError, RecoveryError
 from repro.experiments import ablations, fig08, fig09, fig10, fig11, fig12, jobid, table1
 from repro.experiments.common import (
     ExperimentScale,
@@ -45,7 +45,7 @@ from repro.experiments.common import (
     standard_spec,
 )
 from repro.experiments.report import render_table
-from repro.parallel import RunSpec, run_many
+from repro.parallel import RunSpec, SupervisorConfig, run_many, run_many_outcomes
 from repro.workload.generator import generate_trace
 from repro.workload.stats import workload_summary
 from repro.workload.trace import Trace
@@ -191,6 +191,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for parallel evaluation (bit-identical to serial)",
     )
     run_p.add_argument(
+        "--salvage", action="store_true",
+        help="keep going past failing schedulers; report typed failure "
+        "records instead of aborting the whole fan-out",
+    )
+    run_p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="T",
+        help="watchdog deadline per run, real seconds: hung workers are "
+        "killed and the run retried (default: no deadline)",
+    )
+    run_p.add_argument(
         "--overload", action="store_true",
         help="enable overload protection (admission control, shedding, brownout)",
     )
@@ -226,6 +236,15 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for parallel evaluation (single-node, fault-free runs)",
+    )
+    cmp_p.add_argument(
+        "--salvage", action="store_true",
+        help="keep going past failing schedulers; failed rows are reported "
+        "as typed failure records instead of aborting the comparison",
+    )
+    cmp_p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="T",
+        help="watchdog deadline per run, real seconds (default: no deadline)",
     )
     _add_fault_args(cmp_p)
 
@@ -342,6 +361,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--summary-out", default=None, metavar="PATH",
         help="also write the canonical campaign summary JSON to PATH",
     )
+    fuzz_p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="T",
+        help="watchdog deadline per scenario, real seconds: hung workers are "
+        "killed, the scenario retried, then quarantined as a typed "
+        "harness failure (default: no deadline)",
+    )
+    fuzz_p.add_argument(
+        "--resume-journal", default=None, metavar="PATH",
+        help="crash-safe campaign journal: outcomes are recorded as they "
+        "settle; re-running with the same seed/runs/journal resumes "
+        "exactly, with a byte-identical summary",
+    )
     repro_p = fuzz_sub.add_parser(
         "repro", help="replay a shrunk reproducer file bit-identically"
     )
@@ -438,6 +469,15 @@ def _print_result(result: RunResult, degraded: bool, protected: bool = False) ->
             )
 
 
+def _supervisor_from_args(args: argparse.Namespace) -> Optional[SupervisorConfig]:
+    """Build a supervisor config from ``--task-timeout`` (None when the
+    defaults suffice — the pool then uses its own)."""
+    timeout = getattr(args, "task_timeout", None)
+    if timeout is None:
+        return None
+    return SupervisorConfig(task_timeout=timeout)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = Trace.load(args.trace)
     if args.speedup != 1.0:
@@ -453,8 +493,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "multiple --scheduler values fan out via the single-node "
                 "runner; drop --nodes/fault flags or run them one at a time"
             )
-        specs = [RunSpec(trace, name, engine) for name in schedulers]
-        for name, result in zip(schedulers, run_many(specs, jobs=args.jobs)):
+        specs = [RunSpec(trace, name, engine, label=name) for name in schedulers]
+        supervisor = _supervisor_from_args(args)
+        if args.salvage:
+            failed = 0
+            outcomes = run_many_outcomes(specs, jobs=args.jobs, supervisor=supervisor)
+            for name, outcome in zip(schedulers, outcomes):
+                print(f"[{name}]")
+                if outcome.ok:
+                    _print_result(outcome.value, degraded=False, protected=args.overload)
+                else:
+                    assert outcome.failure is not None
+                    failed += 1
+                    print(f"  FAILED: {outcome.failure.describe()}", file=sys.stderr)
+            return 1 if failed else 0
+        for name, result in zip(
+            schedulers, run_many(specs, jobs=args.jobs, supervisor=supervisor)
+        ):
             print(f"[{name}]")
             _print_result(result, degraded=False, protected=args.overload)
         return 0
@@ -578,9 +633,38 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             _run_one(trace, name, engine, faults, args.nodes)
             for name in args.schedulers
         ]
+    elif args.salvage:
+        specs = [RunSpec(trace, name, engine, label=name) for name in args.schedulers]
+        outcomes = run_many_outcomes(
+            specs, jobs=args.jobs, supervisor=_supervisor_from_args(args)
+        )
+        results = []
+        salvage_failures = []
+        for outcome in outcomes:
+            if outcome.ok:
+                results.append(outcome.value)
+            else:
+                assert outcome.failure is not None
+                salvage_failures.append(outcome.failure)
+        for failure in salvage_failures:
+            print(f"FAILED: {failure.describe()}", file=sys.stderr)
+        schedulers = [name for name, o in zip(args.schedulers, outcomes) if o.ok]
+        rows = []
+        for name, result in zip(schedulers, results):
+            rows.append(
+                (
+                    name,
+                    result.throughput_qps,
+                    result.mean_response_time,
+                    result.cache_hit_ratio,
+                    result.disk["reads"],
+                )
+            )
+        print(render_table(["scheduler", "qps", "mean_rt_s", "cache_hit", "reads"], rows))
+        return 1 if salvage_failures else 0
     else:
-        specs = [RunSpec(trace, name, engine) for name in args.schedulers]
-        results = run_many(specs, jobs=args.jobs)
+        specs = [RunSpec(trace, name, engine, label=name) for name in args.schedulers]
+        results = run_many(specs, jobs=args.jobs, supervisor=_supervisor_from_args(args))
     rows = []
     for name, result in zip(args.schedulers, results):
         row = (
@@ -682,16 +766,28 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print("scenario passed: the recorded failure no longer reproduces", file=sys.stderr)
         return 0
 
-    result = run_campaign(
-        seed=args.seed,
-        runs=args.runs,
-        jobs=args.jobs,
-        quick=args.quick,
-        out_dir=Path(args.out_dir),
-        shrink_budget=args.shrink_budget,
-    )
+    try:
+        result = run_campaign(
+            seed=args.seed,
+            runs=args.runs,
+            jobs=args.jobs,
+            quick=args.quick,
+            out_dir=Path(args.out_dir),
+            shrink_budget=args.shrink_budget,
+            journal_path=Path(args.resume_journal) if args.resume_journal else None,
+            supervisor=_supervisor_from_args(args),
+        )
+    except JournalError as exc:
+        print(f"journal error: {exc}", file=sys.stderr)
+        return 2
     summary = result.summary_json()
     print(summary)
+    if result.resumed_scenarios:
+        print(
+            f"resumed {result.resumed_scenarios}/{args.runs} scenarios "
+            f"from {args.resume_journal}",
+            file=sys.stderr,
+        )
     if args.summary_out:
         Path(args.summary_out).write_text(summary + "\n")
         print(f"wrote {args.summary_out}", file=sys.stderr)

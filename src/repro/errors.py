@@ -20,9 +20,11 @@ __all__ = [
     "InvariantViolation",
     "CoordinatorCrash",
     "RecoveryError",
+    "JournalError",
     "QueryRejected",
     "ConfigurationError",
     "WorkerCrashError",
+    "SupervisorDegradedWarning",
 ]
 
 
@@ -186,15 +188,18 @@ class QueryRejected(SimulationError):
 
 
 class WorkerCrashError(SimulationError):
-    """A parallel-evaluation worker process died and retries ran out.
+    """A parallel-evaluation task was quarantined and salvage is off.
 
-    Raised by :func:`repro.parallel.run_many` when a task's worker
-    process terminated abnormally (``BrokenProcessPool``: OOM kill,
-    segfault, interpreter abort) more times than the retry budget
-    allows.  Deterministic *simulation* failures inside a worker are
-    never wrapped in this error — they propagate as their own typed
-    exception, because re-running a deterministic failure cannot
-    succeed.
+    Raised by :func:`repro.parallel.run_many` /
+    :func:`repro.parallel.map_many` when a task's worker process
+    terminated abnormally (OOM kill, segfault, interpreter abort), hung
+    past its watchdog deadline, or breached the RSS ceiling more times
+    than the retry budget allows.  Deterministic *simulation* failures
+    inside a worker are never wrapped in this error — they propagate as
+    their own typed exception, because re-running a deterministic
+    failure cannot succeed.  With ``salvage=True`` nothing is raised at
+    all; the same information travels as a typed
+    :class:`~repro.parallel.supervisor.TaskFailure` record instead.
 
     Attributes
     ----------
@@ -202,12 +207,64 @@ class WorkerCrashError(SimulationError):
         Position of the failed task in the submitted spec list.
     attempts:
         Number of times the task was attempted before giving up.
+    label:
+        The failing spec's free-form label (``RunSpec.label``), stable
+        across sweep reorderings where ``task_index`` is not.
+    digest:
+        Content digest of the failing spec
+        (:func:`repro.parallel.supervisor.task_digest`) — the journal
+        key, usable to pinpoint or skip the poison task on a re-run.
+    reason:
+        Machine-readable failure mode: ``"worker-crash"``,
+        ``"timeout"`` (watchdog kill) or ``"rss-limit"`` (resource
+        guard kill).
     """
 
-    def __init__(self, message: str, *, task_index: int, attempts: int) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        task_index: int,
+        attempts: int,
+        label: str = "",
+        digest: str = "",
+        reason: str = "worker-crash",
+    ) -> None:
         self.task_index = task_index
         self.attempts = attempts
-        super().__init__(f"{message} (task={task_index}, attempts={attempts})")
+        self.label = label
+        self.digest = digest
+        self.reason = reason
+        tagged = f", label={label!r}" if label else ""
+        hashed = f", digest={digest}" if digest else ""
+        super().__init__(
+            f"{message} (task={task_index}{tagged}{hashed}, "
+            f"reason={reason}, attempts={attempts})"
+        )
+
+
+class JournalError(RuntimeError):
+    """A campaign journal cannot be trusted or does not match.
+
+    Raised by :class:`repro.parallel.journal.CampaignJournal` when a
+    journal file is corrupt beyond its (expected, crash-tolerated) torn
+    final record — a CRC failure on an interior line, an unreadable
+    header — or when its header identifies a *different* campaign than
+    the one being resumed (other seed, run count or scale), in which
+    case resuming would silently merge unrelated results.
+    """
+
+
+class SupervisorDegradedWarning(RuntimeWarning):
+    """The supervised pool degraded to serial execution.
+
+    Issued by :func:`repro.parallel.supervisor.supervise` when a
+    campaign-level resource guard trips (runaway wall-clock deadline)
+    and the remaining tasks are executed serially in the driver process
+    so the campaign still completes.  Results are unaffected — the
+    serial path is the bit-identity reference — but per-task watchdog
+    protection is unavailable for the remainder of the run.
+    """
 
 
 class InvariantViolation(SimulationError):

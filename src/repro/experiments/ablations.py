@@ -22,9 +22,10 @@ from repro.experiments.common import (
     standard_engine,
     standard_scheduler_config,
     standard_trace,
+    sweep_run_many,
 )
 from repro.experiments.report import render_series, render_table
-from repro.parallel import RunSpec, run_many
+from repro.parallel import RunSpec
 
 __all__ = [
     "urc_vs_saturation",
@@ -50,11 +51,12 @@ def urc_vs_saturation(
             dataclasses.replace(
                 engine, cache=dataclasses.replace(engine.cache, policy=policy)
             ),
+            label=f"urc_vs_saturation:{policy}@x{speedup:g}",
         )
         for speedup in speedups
         for policy in policies
     ]
-    results = run_many(specs, jobs=jobs)
+    results = sweep_run_many(specs, jobs=jobs)
     gains = []
     it = iter(results)
     for _speedup in speedups:
@@ -81,10 +83,11 @@ def metric_normalization(
             standard_scheduler_config(
                 adaptive_alpha=False, metric=MetricConfig(normalize=normalize)
             ),
+            label=f"metric_normalization:{_label}",
         )
         for _label, normalize in variants
     ]
-    results = run_many(specs, jobs=jobs)
+    results = sweep_run_many(specs, jobs=jobs)
     out = {}
     for (label, _normalize), result in zip(variants, results):
         out[label] = {
@@ -110,10 +113,11 @@ def gating_ablation(
             "jaws2" if aware else "jaws1",
             engine,
             standard_scheduler_config(job_aware=aware),
+            label=f"gating_ablation:{_label}",
         )
         for _label, aware in variants
     ]
-    results = run_many(specs, jobs=jobs)
+    results = sweep_run_many(specs, jobs=jobs)
     out = {}
     for (label, _aware), result in zip(variants, results):
         out[label] = {
@@ -144,9 +148,11 @@ def seq_discount(
         eng = dataclasses.replace(
             engine, cost=dataclasses.replace(engine.cost, seq_discount=disc)
         )
-        specs.append(RunSpec(trace, "jaws2", eng))
-        specs.append(RunSpec(trace, "noshare", eng))
-    results = run_many(specs, jobs=jobs)
+        specs.append(RunSpec(trace, "jaws2", eng, label=f"seq_discount:jaws2@{disc:g}"))
+        specs.append(
+            RunSpec(trace, "noshare", eng, label=f"seq_discount:noshare@{disc:g}")
+        )
+    results = sweep_run_many(specs, jobs=jobs)
     rows = []
     it = iter(results)
     for disc in discounts:

@@ -29,6 +29,8 @@ from repro.experiments.common import (
     standard_params,
     standard_spec,
 )
+from repro.parallel import map_many
+from repro.parallel.supervisor import _wall_now
 from repro.workload.cache import cached_generate_trace
 
 __all__ = ["FORMAT_VERSION", "check_regression", "run_bench", "write_report"]
@@ -53,6 +55,43 @@ def _peak_rss_kb() -> int:
     # ru_maxrss is kilobytes on Linux (bytes on macOS; this repo's CI
     # and benchmarks run on Linux, where the raw value is correct).
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _noop_task(x: int) -> int:
+    """Trivial worker payload for supervisor-overhead measurement
+    (top-level so it pickles by reference)."""
+    return x
+
+
+def _bench_supervisor(quick: bool) -> dict[str, float]:
+    """Measure the supervised pool's per-task dispatch cost.
+
+    Pushes no-op tasks through the pooled salvage path (watchdog armed
+    at its default heartbeat) and through the inline reference path;
+    the difference, divided by the task count, is the price of
+    supervision per task — the number that tells you when fan-out is
+    worth it for short runs.
+    """
+    n = 64 if quick else 256
+    items = list(range(n))
+    # Reuse the supervisor's confined watchdog clock (DESIGN.md §13)
+    # rather than opening another wall-clock read site in this module.
+    t0 = _wall_now()
+    inline = map_many(_noop_task, items, jobs=1)
+    inline_wall = _wall_now() - t0
+    t0 = _wall_now()
+    pooled = map_many(_noop_task, items, jobs=2, salvage=True)
+    pooled_wall = _wall_now() - t0
+    if inline != items or not all(o.ok and o.value == i for i, o in enumerate(pooled)):
+        raise RuntimeError("supervisor overhead benchmark produced wrong results")
+    return {
+        "tasks": float(n),
+        "inline_wall_s": round(inline_wall, 4),
+        "pooled_wall_s": round(pooled_wall, 4),
+        "dispatch_overhead_ms_per_task": round(
+            1000.0 * max(pooled_wall - inline_wall, 0.0) / n, 4
+        ),
+    }
 
 
 def run_bench(
@@ -84,6 +123,9 @@ def run_bench(
         "n_queries": trace.n_queries,
         "total_wall_s": round(total_wall, 4),
         "schedulers": schedulers,
+        # Informational (not regression-gated): what supervised fan-out
+        # costs per task over the inline reference path.
+        "supervisor": _bench_supervisor(quick),
     }
 
 

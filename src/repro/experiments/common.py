@@ -12,9 +12,12 @@ EXPERIMENTS.md numbers.
 from __future__ import annotations
 
 import enum
-from typing import Any
+import os
+from typing import Any, List, Optional, Sequence
 from repro.config import CacheConfig, CostModel, EngineConfig, SchedulerConfig
+from repro.engine.results import RunResult
 from repro.grid.dataset import DatasetSpec
+from repro.parallel import RunSpec, SupervisorConfig, run_many
 from repro.workload.cache import cached_generate_trace
 from repro.workload.generator import WorkloadParams
 from repro.workload.trace import Trace
@@ -26,6 +29,8 @@ __all__ = [
     "standard_engine",
     "standard_scheduler_config",
     "standard_trace",
+    "sweep_run_many",
+    "sweep_supervisor",
     "STANDARD_SPEEDUP",
 ]
 
@@ -100,3 +105,40 @@ def standard_trace(
     return cached_generate_trace(
         standard_spec(), standard_params(scale, seed), speedup=speedup
     )
+
+
+def sweep_supervisor() -> Optional[SupervisorConfig]:
+    """Supervision knobs for experiment sweeps, from the environment.
+
+    ``REPRO_TASK_TIMEOUT=<seconds>`` arms the per-run watchdog for every
+    figure/table sweep without threading a flag through each experiment
+    signature — an overnight ``--scale full`` regeneration then survives
+    a wedged worker (killed, retried, at worst surfaced as a typed
+    :class:`~repro.errors.WorkerCrashError` naming the run's label).
+    Unset (the default) leaves the supervisor defaults: retries on
+    worker death, no deadline.  The timeout only bounds *real* execution
+    time; results remain bit-identical to serial runs.
+    """
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TASK_TIMEOUT={raw!r} is not a number of seconds"
+        ) from None
+    if timeout <= 0:
+        return None
+    return SupervisorConfig(task_timeout=timeout)
+
+
+def sweep_run_many(specs: Sequence[RunSpec], jobs: int = 1) -> List[RunResult]:
+    """Run an experiment sweep's specs under the supervised pool.
+
+    The one fan-out entry point every figure/table module uses: spec
+    labels ride along to failure records, and :func:`sweep_supervisor`
+    (the ``REPRO_TASK_TIMEOUT`` environment knob) arms the watchdog
+    uniformly across fig10/fig11/fig12/table1 and the ablations.
+    """
+    return run_many(specs, jobs=jobs, supervisor=sweep_supervisor())

@@ -13,9 +13,10 @@ from repro.experiments.common import (
     ExperimentScale,
     standard_engine,
     standard_trace,
+    sweep_run_many,
 )
 from repro.experiments.report import render_table
-from repro.parallel import RunSpec, run_many
+from repro.parallel import RunSpec
 
 #: Throughput of each algorithm relative to NoShare, read off Fig. 10.
 PAPER_RELATIVE = {
@@ -40,8 +41,10 @@ def run(
     """
     trace = standard_trace(scale, speedup=speedup, seed=seed)
     engine = standard_engine()
-    specs = [RunSpec(trace, name, engine) for name in SCHEDULER_NAMES]
-    results = run_many(specs, jobs=jobs)
+    specs = [
+        RunSpec(trace, name, engine, label=f"fig10:{name}") for name in SCHEDULER_NAMES
+    ]
+    results = sweep_run_many(specs, jobs=jobs)
     rows = {}
     for name, result in zip(SCHEDULER_NAMES, results):
         rows[name] = {

@@ -13,9 +13,14 @@ high saturation while beating LifeRaft₁ at the lowest saturation.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentScale, standard_engine, standard_trace
+from repro.experiments.common import (
+    ExperimentScale,
+    standard_engine,
+    standard_trace,
+    sweep_run_many,
+)
 from repro.experiments.report import render_series
-from repro.parallel import RunSpec, run_many
+from repro.parallel import RunSpec
 
 DEFAULT_SPEEDUPS = (1.0, 2.0, 4.0, 8.0, 16.0)
 SCHEDULERS = ("noshare", "liferaft1", "liferaft2", "jaws2")
@@ -34,11 +39,16 @@ def run(
     """
     engine = standard_engine()
     specs = [
-        RunSpec(standard_trace(scale, speedup=speedup, seed=seed), name, engine)
+        RunSpec(
+            standard_trace(scale, speedup=speedup, seed=seed),
+            name,
+            engine,
+            label=f"fig11:{name}@x{speedup:g}",
+        )
         for speedup in speedups
         for name in SCHEDULERS
     ]
-    results = run_many(specs, jobs=jobs)
+    results = sweep_run_many(specs, jobs=jobs)
     throughput: dict[str, list[float]] = {s: [] for s in SCHEDULERS}
     response: dict[str, list[float]] = {s: [] for s in SCHEDULERS}
     it = iter(results)

@@ -25,9 +25,10 @@ from repro.experiments.common import (
     standard_engine,
     standard_scheduler_config,
     standard_trace,
+    sweep_run_many,
 )
 from repro.experiments.report import render_series
-from repro.parallel import RunSpec, run_many
+from repro.parallel import RunSpec
 
 DEFAULT_KS = (1, 2, 5, 10, 15, 20, 30, 50, 80)
 
@@ -43,11 +44,17 @@ def run(
     trace = standard_trace(scale, speedup=speedup, seed=seed)
     engine = standard_engine()
     specs = [
-        RunSpec(trace, "jaws2", engine, standard_scheduler_config(batch_size=int(k)))
+        RunSpec(
+            trace,
+            "jaws2",
+            engine,
+            standard_scheduler_config(batch_size=int(k)),
+            label=f"fig12:jaws2@k{int(k)}",
+        )
         for k in ks
     ]
-    specs.append(RunSpec(trace, "liferaft2", engine))
-    results = run_many(specs, jobs=jobs)
+    specs.append(RunSpec(trace, "liferaft2", engine, label="fig12:liferaft2"))
+    results = sweep_run_many(specs, jobs=jobs)
     tps = [r.throughput_qps for r in results[:-1]]
     liferaft2 = results[-1].throughput_qps
     return {"ks": list(ks), "throughput": tps, "liferaft2": liferaft2}

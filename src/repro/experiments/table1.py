@@ -25,9 +25,10 @@ from repro.experiments.common import (
     ExperimentScale,
     standard_engine,
     standard_trace,
+    sweep_run_many,
 )
 from repro.experiments.report import render_table
-from repro.parallel import RunSpec, run_many
+from repro.parallel import RunSpec
 
 POLICIES = ("lruk", "slru", "urc")
 
@@ -54,10 +55,11 @@ def run(
             dataclasses.replace(
                 engine, cache=dataclasses.replace(engine.cache, policy=policy)
             ),
+            label=f"table1:{policy}",
         )
         for policy in POLICIES
     ]
-    results = run_many(specs, jobs=jobs)
+    results = sweep_run_many(specs, jobs=jobs)
     rows = {}
     for policy, result in zip(POLICIES, results):
         rows[policy] = {

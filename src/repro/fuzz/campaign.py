@@ -2,16 +2,32 @@
 
 A campaign derives ``runs`` scenario seeds from one master seed,
 builds a :class:`~repro.fuzz.spec.ScenarioSpec` per seed, and executes
-them via :func:`repro.parallel.map_many` (``jobs > 1`` fans out over
-worker processes with bit-identical results — scenario execution is a
-pure function of the spec).  Failing scenarios are shrunk serially —
-one :func:`repro.fuzz.shrink.shrink` per distinct failure signature —
-and each minimal spec is written as a JSON *reproducer* that
-``repro fuzz repro <file>`` replays bit-identically.
+them via :func:`repro.parallel.map_many` in **salvage mode** (``jobs >
+1`` fans out over supervised worker processes with bit-identical
+results — scenario execution is a pure function of the spec).  A
+scenario whose *worker* dies, hangs past the watchdog deadline or
+breaches the RSS ceiling costs one typed failure record instead of the
+campaign: it surfaces in the summary as a ``harness``-kind failure
+alongside the ordinary oracle/error kinds.  Failing scenarios are
+shrunk serially — one :func:`repro.fuzz.shrink.shrink` per distinct
+failure signature — and each minimal spec is written as a JSON
+*reproducer* that ``repro fuzz repro <file>`` replays bit-identically.
+(Harness failures are not shrunk: a worker crash is a property of the
+real machine, not of the spec.)
 
 The campaign summary is canonical JSON (sorted keys, fixed float
 ``repr``): running the same campaign twice produces byte-identical
 summaries, which CI asserts.
+
+**Crash-resumable campaigns** (``journal_path``): every settled
+scenario is appended — keyed by its spec's content digest, CRC-guarded
+— to a :class:`~repro.parallel.journal.CampaignJournal` the moment it
+completes.  A driver killed at any point (SIGKILL included) resumes by
+re-running with the same arguments and journal path: completed digests
+are skipped, their recorded outcomes merged back in spec order, and
+the resumed summary is byte-identical to an uninterrupted run's
+(asserted by ``tests/test_fuzz_resume.py`` and the CI
+``interrupt-soak`` job).
 
 The **coverage ledger** counts, per (scenario feature × oracle) cell,
 how many executed scenarios exercised that combination — the fuzz
@@ -28,10 +44,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.fuzz.build import build_scenario
-from repro.fuzz.runner import ScenarioOutcome, execute_scenario
+from repro.fuzz.runner import FuzzFailure, ScenarioOutcome, execute_scenario
 from repro.fuzz.shrink import shrink
 from repro.fuzz.spec import SPEC_FORMAT_VERSION, ScenarioSpec
-from repro.parallel import map_many
+from repro.parallel import CampaignJournal, Outcome, SupervisorConfig, map_many
 
 __all__ = ["CampaignResult", "load_reproducer", "replay_file", "run_campaign"]
 
@@ -46,6 +62,7 @@ class CampaignResult:
     outcomes: List[ScenarioOutcome]
     reproducers: List[dict[str, Any]] = field(default_factory=list)
     reproducer_paths: List[Path] = field(default_factory=list)
+    resumed_scenarios: int = 0  # outcomes replayed from the journal
 
     @property
     def failures(self) -> List[ScenarioOutcome]:
@@ -74,13 +91,36 @@ class CampaignResult:
         }
 
     def summary_json(self) -> str:
-        """Canonical text: byte-identical across repeat campaigns."""
+        """Canonical text: byte-identical across repeat campaigns (and
+        across interrupted-then-resumed campaigns — ``resumed_scenarios``
+        is deliberately *not* part of the summary)."""
         return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
 
 
 def _scenario_seeds(seed: int, runs: int) -> List[int]:
     rng = random.Random(f"{seed}:campaign")
     return [rng.randrange(2**31) for _ in range(runs)]
+
+
+def _harness_failure_outcome(spec: ScenarioSpec, outcome: Outcome) -> ScenarioOutcome:
+    """Wrap a supervisor-level task failure as a scenario outcome.
+
+    ``kind="harness"`` keeps these apart from oracle/engine failures:
+    they describe the *execution environment* (a worker crash, a hang,
+    an RSS breach), carry no oracle coverage, and are never shrunk.
+    """
+    assert outcome.failure is not None
+    return ScenarioOutcome(
+        spec=spec,
+        features=tuple(sorted({e.kind for e in spec.entries})),
+        oracles_checked=(),
+        failure=FuzzFailure(
+            kind="harness",
+            name=outcome.failure.reason,
+            stage="supervise",
+            detail=outcome.failure.describe(),
+        ),
+    )
 
 
 def run_campaign(
@@ -90,24 +130,94 @@ def run_campaign(
     quick: bool = False,
     out_dir: Optional[Path] = None,
     shrink_budget: int = 200,
+    journal_path: Optional[Path] = None,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> CampaignResult:
     """Explore ``runs`` scenarios derived from ``seed``.
 
     ``jobs`` fans scenario execution out via
-    :func:`repro.parallel.map_many`; shrinking always runs serially in
+    :func:`repro.parallel.map_many` (salvage mode; ``supervisor`` arms
+    the watchdog/resource guards); shrinking always runs serially in
     this process (each shrink is itself a chain of dependent runs).
     One reproducer is written per distinct failure signature to
     ``out_dir`` (created on demand; nothing is written when the
     campaign is clean or ``out_dir`` is None).
+
+    ``journal_path`` makes the campaign crash-resumable: settled
+    scenarios are journaled as they complete and skipped on re-run —
+    see the module docstring.  The journal header pins ``(seed, runs,
+    quick)``; resuming with different arguments raises
+    :class:`~repro.errors.JournalError`.
     """
     specs = [build_scenario(s, quick=quick) for s in _scenario_seeds(seed, runs)]
-    outcomes = map_many(execute_scenario, specs, jobs=jobs)
+    digests = [spec.digest() for spec in specs]
 
-    result = CampaignResult(seed=seed, runs=runs, quick=quick, outcomes=outcomes)
+    journal: Optional[CampaignJournal] = None
+    recorded: Dict[str, Any] = {}
+    if journal_path is not None:
+        journal, recorded = CampaignJournal.open(
+            Path(journal_path),
+            meta={
+                "kind": "fuzz-campaign",
+                "format": SPEC_FORMAT_VERSION,
+                "seed": seed,
+                "runs": runs,
+                "quick": quick,
+            },
+        )
+
+    by_digest: Dict[str, ScenarioOutcome] = {}
+    resumed = 0
+    for spec, digest in zip(specs, digests):
+        if digest in by_digest:
+            continue
+        payload = recorded.get(digest)
+        if payload is not None:
+            by_digest[digest] = ScenarioOutcome.from_json(dict(payload), spec)
+            resumed += 1
+
+    todo = [spec for spec, digest in zip(specs, digests) if digest not in by_digest]
+    try:
+        if todo:
+            todo_by_digest = {spec.digest(): spec for spec in todo}
+
+            def on_outcome(task: Outcome) -> None:
+                spec = todo_by_digest[task.digest]
+                scenario_outcome = (
+                    task.value
+                    if task.ok
+                    else _harness_failure_outcome(spec, task)
+                )
+                by_digest[task.digest] = scenario_outcome
+                if journal is not None:
+                    journal.append(task.digest, scenario_outcome.to_json())
+
+            map_many(
+                execute_scenario,
+                todo,
+                jobs=jobs,
+                salvage=True,
+                supervisor=supervisor,
+                on_outcome=on_outcome,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    outcomes = [by_digest[digest] for digest in digests]
+    result = CampaignResult(
+        seed=seed,
+        runs=runs,
+        quick=quick,
+        outcomes=outcomes,
+        resumed_scenarios=resumed,
+    )
     shrunk_signatures: set[tuple[str, str]] = set()
     for outcome in result.failures:
         assert outcome.failure is not None
         signature = outcome.failure.signature
+        if outcome.failure.kind == "harness":
+            continue  # machine-level failure: nothing spec-shaped to shrink
         if signature in shrunk_signatures:
             continue  # one reproducer per distinct bug
         shrunk_signatures.add(signature)

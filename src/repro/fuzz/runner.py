@@ -98,6 +98,15 @@ class FuzzFailure:
             "detail": self.detail,
         }
 
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FuzzFailure":
+        return cls(
+            kind=str(data["kind"]),
+            name=str(data["name"]),
+            stage=str(data["stage"]),
+            detail=str(data["detail"]),
+        )
+
 
 @dataclass
 class ScenarioOutcome:
@@ -123,6 +132,31 @@ class ScenarioOutcome:
             "failure": self.failure.to_json() if self.failure else None,
             "stats": dict(sorted(self.stats.items())),
         }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any], spec: ScenarioSpec) -> "ScenarioOutcome":
+        """Rebuild an outcome recorded in a campaign journal.
+
+        ``to_json``/``from_json`` round-trip exactly — same features,
+        oracles, failure and stats — which is what makes a resumed
+        campaign's summary byte-identical to an uninterrupted run's.
+        The spec is supplied by the caller (campaign specs regenerate
+        deterministically from the master seed) and must match the
+        recorded digest.
+        """
+        if str(data.get("digest")) != spec.digest():
+            raise ValueError(
+                f"journaled outcome digest {data.get('digest')!r} does not "
+                f"match spec digest {spec.digest()!r}"
+            )
+        failure = data.get("failure")
+        return cls(
+            spec=spec,
+            features=tuple(str(f) for f in data.get("features", ())),
+            oracles_checked=tuple(str(o) for o in data.get("oracles_checked", ())),
+            failure=FuzzFailure.from_json(failure) if failure else None,
+            stats=dict(data.get("stats", {})),
+        )
 
 
 def _classify(exc: Exception, stage: str) -> FuzzFailure:

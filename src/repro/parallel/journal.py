@@ -1,0 +1,180 @@
+"""Crash-safe campaign journal: append-only, CRC-guarded, digest-keyed.
+
+A long campaign (fuzz run, experiment sweep) records every finished
+task here the moment its outcome settles, so a driver killed at *any*
+point — SIGKILL included — resumes exactly where it left off: on
+restart the journal is replayed, completed task digests are skipped,
+and their recorded payloads are merged back in task order.  Because a
+task's payload is written from its canonical JSON form and reloaded
+through the same codec, a resumed campaign's summary is byte-identical
+to an uninterrupted run's (asserted by ``tests/test_fuzz_resume.py``
+and the CI ``interrupt-soak`` job).
+
+File format (one record per line, like the recovery WAL —
+:mod:`repro.recovery.wal`)::
+
+    {"h": {<campaign identity>}, "v": 1}\t<crc32>\n     # header, line 1
+    {"d": "<task digest>", "p": <payload JSON>}\t<crc32>\n
+    ...
+
+Torn final lines are *expected*: a SIGKILL can land mid-``write``.  A
+final line without its newline (or failing its CRC) is dropped as
+never-written; the task simply re-runs on resume.  Corruption anywhere
+*else* — an interior CRC mismatch, an unreadable header — raises
+:class:`~repro.errors.JournalError`: a journal either replays exactly
+or refuses.  The header pins the campaign identity (seed, run count,
+scale…); resuming with different parameters is refused rather than
+silently merging unrelated results.
+
+Nothing in this module reads wall-clock time or process identity —
+records carry task digests and payloads only, so the journal adds no
+nondeterminism to resumed output (jawslint D006 holds with no
+suppressions).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import IO, Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import JournalError
+
+__all__ = ["JOURNAL_FORMAT_VERSION", "CampaignJournal"]
+
+#: Bump on incompatible record-format change.
+JOURNAL_FORMAT_VERSION = 1
+
+
+def _format_line(body_obj: Mapping[str, Any]) -> str:
+    body = json.dumps(body_obj, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{body}\t{crc:08x}\n"
+
+
+def _parse_line(line: str, lineno: int, name: str) -> Dict[str, Any]:
+    body, sep, crc_text = line.rpartition("\t")
+    if not sep:
+        raise JournalError(f"corrupt journal {name}:{lineno}: missing CRC field")
+    try:
+        crc = int(crc_text, 16)
+    except ValueError:
+        raise JournalError(
+            f"corrupt journal {name}:{lineno}: unparsable CRC {crc_text!r}"
+        ) from None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != crc:
+        raise JournalError(f"corrupt journal {name}:{lineno}: CRC mismatch")
+    try:
+        fields = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise JournalError(f"corrupt journal {name}:{lineno}: {exc}") from exc
+    if not isinstance(fields, dict):
+        raise JournalError(f"corrupt journal {name}:{lineno}: record is not an object")
+    return fields
+
+
+class CampaignJournal:
+    """One campaign's append-only outcome journal.
+
+    Use :meth:`open` to create-or-resume; it returns the journal plus
+    every durably recorded ``digest -> payload`` mapping.  Call
+    :meth:`append` as each task settles (the campaign hooks this to the
+    supervisor's ``on_outcome`` callback) and :meth:`close` when done.
+    Each record is flushed on write, so it is durable the instant
+    ``append`` returns even if the driver is SIGKILLed next.
+    """
+
+    def __init__(self, path: Path, fh: IO[str]) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = fh
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def open(
+        cls, path: Path, meta: Mapping[str, Any]
+    ) -> Tuple["CampaignJournal", Dict[str, Any]]:
+        """Create ``path`` (writing its header) or resume it.
+
+        Returns ``(journal, completed)`` where ``completed`` maps each
+        durably recorded task digest to its payload.  On resume the
+        existing header must equal ``meta`` exactly; a mismatch raises
+        :class:`~repro.errors.JournalError` (the journal belongs to a
+        different campaign).
+        """
+        path = Path(path)
+        if path.exists() and path.stat().st_size > 0:
+            completed = cls._replay(path, dict(meta))
+            fh = path.open("a", encoding="utf-8", newline="")
+            return cls(path, fh), completed
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fh = path.open("w", encoding="utf-8", newline="")
+        fh.write(_format_line({"h": dict(meta), "v": JOURNAL_FORMAT_VERSION}))
+        fh.flush()
+        return cls(path, fh), {}
+
+    @staticmethod
+    def _replay(path: Path, meta: Dict[str, Any]) -> Dict[str, Any]:
+        text = path.read_text(encoding="utf-8")
+        lines = text.split("\n")
+        # A torn final record (SIGKILL mid-write) is dropped as
+        # never-written; with a trailing newline the final element is
+        # an empty string and nothing is dropped.
+        torn = lines.pop() if lines else ""
+        records = []
+        for lineno, line in enumerate(lines, start=1):
+            records.append(_parse_line(line, lineno, path.name))
+        if torn:
+            try:
+                records.append(_parse_line(torn, len(lines) + 1, path.name))
+            except JournalError:
+                pass  # torn tail: the in-flight record was never durable
+        if not records:
+            raise JournalError(f"journal {path.name} has no readable header")
+        header = records[0]
+        if "h" not in header:
+            raise JournalError(f"journal {path.name}: first record is not a header")
+        version = int(header.get("v", 0))
+        if version != JOURNAL_FORMAT_VERSION:
+            raise JournalError(
+                f"journal {path.name} has format {version}; this build "
+                f"reads format {JOURNAL_FORMAT_VERSION}"
+            )
+        if header["h"] != meta:
+            raise JournalError(
+                f"journal {path.name} belongs to a different campaign "
+                f"(recorded {header['h']!r}, resuming {meta!r}); refusing "
+                "to merge unrelated results — use a fresh journal path"
+            )
+        completed: Dict[str, Any] = {}
+        for record in records[1:]:
+            if "d" not in record or "p" not in record:
+                raise JournalError(
+                    f"journal {path.name}: malformed task record {record!r}"
+                )
+            completed[str(record["d"])] = record["p"]  # duplicate: last wins
+        return completed
+
+    # -- writing -------------------------------------------------------------
+    def append(self, digest: str, payload: Any) -> None:
+        """Durably record one settled task (flushed before returning).
+
+        ``payload`` must be JSON-serializable and must round-trip to
+        the exact value the campaign would have produced live — that
+        equivalence is what makes resumed summaries byte-identical.
+        """
+        if self._fh is None:
+            raise JournalError(f"journal {self.path.name} is closed")
+        self._fh.write(_format_line({"d": digest, "p": payload}))
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -2,10 +2,11 @@
 
 The evaluation harness replays many independent ``(trace, scheduler,
 engine, faults)`` combinations — five schedulers per figure, speedup
-sweeps, cache-policy tables.  Each run is a pure function of its
-:class:`RunSpec` (the engine derives every random draw from seeds
-carried in the spec's configs; see DESIGN.md §7), so the runs can fan
-out across worker processes with **bit-identical** results:
+sweeps, cache-policy tables, fuzz campaigns.  Each run is a pure
+function of its :class:`RunSpec` (the engine derives every random draw
+from seeds carried in the spec's configs; see DESIGN.md §7), so the
+runs can fan out across worker processes with **bit-identical**
+results:
 
 * *stable task ordering* — results come back in spec-list order, never
   completion order, so downstream tables are byte-for-byte identical
@@ -13,30 +14,53 @@ out across worker processes with **bit-identical** results:
 * *per-task seed isolation* — workers share no RNG or interpreter
   state; all randomness comes from seeds inside the pickled spec, and
   each worker rebuilds its scheduler/engine from scratch;
-* *worker-crash retry* — a task whose worker dies abnormally
-  (``BrokenProcessPool``) is retried in a fresh pool up to
-  ``max_retries`` times, then surfaces as a typed
-  :class:`~repro.errors.WorkerCrashError`.  Deterministic simulation
-  errors propagate immediately — retrying them cannot succeed.
+* *supervised execution* — the pool is driven by
+  :mod:`repro.parallel.supervisor`: hung workers are killed by a
+  watchdog and re-dispatched, crashed workers are retried with seeded
+  deterministic backoff (only the dead process is respawned — healthy
+  workers survive retry rounds), resource guards bound per-worker RSS
+  and whole-campaign wall-clock, and in **salvage mode**
+  (``salvage=True``) one poison task costs you one
+  :class:`~repro.parallel.supervisor.Outcome` record instead of the
+  whole campaign.
+
+With ``salvage=False`` (the default) the historical contract holds: a
+task whose worker keeps dying/hanging raises a typed
+:class:`~repro.errors.WorkerCrashError` carrying the spec's label and
+content digest; deterministic exceptions raised by the task function
+propagate as themselves — retrying them cannot succeed.
 
 Nothing in this module may read wall-clock time or process identity
-into results (enforced by jawslint rule D006).
+into results (enforced by jawslint rule D006; the supervisor's
+watchdog clock is confined to ``supervisor._wall_now`` and baselined).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence, TypeVar
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    List,
+    Literal,
+    Optional,
+    Sequence,
+    TypeVar,
+    Union,
+    cast,
+    overload,
+)
 
 from repro.config import EngineConfig, FaultConfig, SchedulerConfig
 from repro.engine.results import RunResult
 from repro.engine.runner import run_trace
 from repro.errors import WorkerCrashError
+from repro.parallel.supervisor import Outcome, SupervisorConfig, supervise
 from repro.workload.trace import Trace
 
-__all__ = ["RunSpec", "map_many", "run_many"]
+__all__ = ["RunSpec", "map_many", "run_many", "run_many_outcomes"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -63,7 +87,8 @@ class RunSpec:
         Optional fault-injection plan; overrides ``engine.faults``.
     label:
         Free-form bookkeeping tag echoed back by callers (never read
-        by the runner).
+        by the runner).  Carried on failure records so a poison spec
+        stays identifiable after sweeps reorder their spec lists.
     """
 
     trace: Trace
@@ -72,6 +97,18 @@ class RunSpec:
     scheduler_config: Optional[SchedulerConfig] = None
     faults: Optional[FaultConfig] = None
     label: str = ""
+
+    def digest(self) -> str:
+        """Stable content digest of this spec (journal/failure key).
+
+        Hashed over the spec's pickle at a pinned protocol: the same
+        logical spec — same trace content, scheduler name, configs —
+        digests identically across driver restarts, which is what lets
+        a resumed campaign skip completed work by content rather than
+        by position.
+        """
+        payload = pickle.dumps(self, protocol=4)
+        return hashlib.sha256(payload).hexdigest()[:12]
 
 
 def _execute_spec(spec: RunSpec) -> RunResult:
@@ -86,12 +123,71 @@ def _execute_spec(spec: RunSpec) -> RunResult:
     )
 
 
-@dataclass
-class _Attempt:
-    index: int
-    item: Any
-    tries: int = 0
-    future: Optional[Future] = field(default=None, repr=False)
+def _raise_first_failure(outcomes: Sequence[Outcome]) -> None:
+    """Raising-mode conversion: re-raise the lowest-index failure.
+
+    Deterministic exceptions re-raise as themselves when they survived
+    the pickle trip (a text-only fallback raises ``RuntimeError`` with
+    the remote traceback).  Quarantined crash/hang/RSS failures raise
+    :class:`~repro.errors.WorkerCrashError` with the spec's label and
+    content digest.  Scanning in index order keeps the raised error
+    independent of completion interleaving.
+    """
+    failed = next((o for o in outcomes if not o.ok), None)
+    if failed is None:
+        return
+    failure = failed.failure
+    assert failure is not None
+    if failure.reason == "exception":
+        if failure.exception is not None:
+            raise failure.exception
+        raise RuntimeError(
+            f"task {failure.label!r} raised unpicklable "
+            f"{failure.error_type}: {failure.message}\n{failure.traceback}"
+        )
+    raise WorkerCrashError(
+        "parallel evaluation worker died abnormally and exhausted its "
+        "retry budget"
+        if failure.reason == "worker-crash"
+        else (
+            "parallel evaluation task exceeded its watchdog deadline and "
+            "exhausted its retry budget"
+            if failure.reason == "timeout"
+            else "parallel evaluation worker breached the RSS ceiling and "
+            "exhausted its retry budget"
+        ),
+        task_index=failure.index,
+        attempts=failure.attempts,
+        label=failure.label,
+        digest=failure.digest,
+        reason=failure.reason,
+    )
+
+
+@overload
+def map_many(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    jobs: int = ...,
+    max_retries: int = ...,
+    *,
+    salvage: Literal[False] = ...,
+    supervisor: Optional[SupervisorConfig] = ...,
+    on_outcome: Optional[Callable[[Outcome], None]] = ...,
+) -> List[_R]: ...
+
+
+@overload
+def map_many(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    jobs: int = ...,
+    max_retries: int = ...,
+    *,
+    salvage: Literal[True],
+    supervisor: Optional[SupervisorConfig] = ...,
+    on_outcome: Optional[Callable[[Outcome], None]] = ...,
+) -> List[Outcome]: ...
 
 
 def map_many(
@@ -99,8 +195,12 @@ def map_many(
     items: Sequence[_T],
     jobs: int = 1,
     max_retries: int = 2,
-) -> list[_R]:
-    """Apply ``fn`` to every item and return results in item order.
+    *,
+    salvage: bool = False,
+    supervisor: Optional[SupervisorConfig] = None,
+    on_outcome: Optional[Callable[[Outcome], None]] = None,
+) -> Union[List[_R], List[Outcome]]:
+    """Apply ``fn`` to every item; results come back in item order.
 
     The generic fan-out primitive behind :func:`run_many` (and the fuzz
     campaign driver, :mod:`repro.fuzz.campaign`): ``fn`` must be a
@@ -108,65 +208,77 @@ def map_many(
     every random draw seeded from inside the item — so the pool path is
     bit-identical to the inline path.
 
-    ``jobs <= 1`` runs inline in this process (no pool, no pickling) —
-    the reference execution path.  ``jobs > 1`` fans out over a
-    ``ProcessPoolExecutor``; results come back in submission order,
-    never completion order.
+    ``jobs <= 1`` runs inline in this process (no pool, no pickling,
+    no watchdog) — the reference execution path.  ``jobs > 1`` fans
+    out over supervised worker processes
+    (:func:`repro.parallel.supervisor.supervise`); pass ``supervisor``
+    to arm the per-task watchdog, the RSS ceiling or the runaway
+    deadline (its ``max_retries`` wins over the positional one).
+
+    ``salvage=False`` (default) returns plain results and raises on
+    the lowest-index failure; ``salvage=True`` returns ordered
+    :class:`~repro.parallel.supervisor.Outcome` records — one per
+    item, each a result or a typed ``TaskFailure`` — and never raises
+    for task-level problems.  ``on_outcome`` fires once per settled
+    task in completion order (the campaign journal hook).
 
     Raises
     ------
     WorkerCrashError
-        When one task's worker process died abnormally more than
-        ``max_retries`` times.  Deterministic exceptions raised by
-        ``fn`` itself propagate immediately — retrying cannot succeed.
+        Only with ``salvage=False``: a task's worker died abnormally,
+        hung past the watchdog deadline, or breached the RSS ceiling
+        more than its retry budget allows.  Deterministic exceptions
+        raised by ``fn`` itself propagate as themselves — retrying
+        them cannot succeed.
     """
     if jobs < 0:
         raise ValueError("jobs must be >= 0")
-    if jobs <= 1 or len(items) <= 1:
+    config = supervisor or SupervisorConfig(max_retries=max_retries)
+    if not salvage and jobs <= 1 and on_outcome is None:
+        # Fast inline reference path: identical to a plain list
+        # comprehension, raising at the first failing item.
         return [fn(item) for item in items]
-
-    results: list[Optional[_R]] = [None] * len(items)
-    done = [False] * len(items)
-    pending = [_Attempt(i, item) for i, item in enumerate(items)]
-    while pending:
-        crashed: list[_Attempt] = []
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            for attempt in pending:
-                attempt.tries += 1
-                attempt.future = pool.submit(fn, attempt.item)
-            # Collect in submission order: a broken pool fails every
-            # outstanding future, and ordered collection keeps retry
-            # scheduling — and therefore results — deterministic.
-            for attempt in pending:
-                assert attempt.future is not None
-                try:
-                    results[attempt.index] = attempt.future.result()
-                    done[attempt.index] = True
-                except BrokenProcessPool:
-                    if attempt.tries > max_retries:
-                        raise WorkerCrashError(
-                            "parallel evaluation worker died abnormally and "
-                            "exhausted its retry budget",
-                            task_index=attempt.index,
-                            attempts=attempt.tries,
-                        ) from None
-                    crashed.append(attempt)
-        pending = crashed
-    out: list[_R] = []
-    for index, result in enumerate(results):
-        assert done[index]  # every task either succeeded or raised
-        out.append(result)  # type: ignore[arg-type]
-    return out
+    outcomes = supervise(fn, items, jobs=jobs, config=config, on_outcome=on_outcome)
+    if salvage:
+        return outcomes
+    _raise_first_failure(outcomes)
+    return [cast(_R, o.value) for o in outcomes]
 
 
 def run_many(
     specs: Sequence[RunSpec],
     jobs: int = 1,
     max_retries: int = 2,
-) -> list[RunResult]:
-    """Run every spec and return results in spec order.
+    *,
+    supervisor: Optional[SupervisorConfig] = None,
+) -> List[RunResult]:
+    """Run every spec and return results in spec order (raising mode).
 
     A thin wrapper over :func:`map_many` with :func:`_execute_spec` as
     the worker function; see there for the determinism contract.
     """
-    return map_many(_execute_spec, specs, jobs=jobs, max_retries=max_retries)
+    return map_many(
+        _execute_spec, specs, jobs=jobs, max_retries=max_retries, supervisor=supervisor
+    )
+
+
+def run_many_outcomes(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    max_retries: int = 2,
+    *,
+    supervisor: Optional[SupervisorConfig] = None,
+    on_outcome: Optional[Callable[[Outcome], None]] = None,
+) -> List[Outcome]:
+    """Salvage-mode :func:`run_many`: ordered Outcome records, one per
+    spec — each a :class:`~repro.engine.results.RunResult` or a typed
+    ``TaskFailure`` — so one poison spec cannot sink a sweep."""
+    return map_many(
+        _execute_spec,
+        specs,
+        jobs=jobs,
+        max_retries=max_retries,
+        salvage=True,
+        supervisor=supervisor,
+        on_outcome=on_outcome,
+    )
