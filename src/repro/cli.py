@@ -33,11 +33,22 @@ from repro.config import (
     EngineConfig,
     FaultConfig,
     OverloadConfig,
+    ShardConfig,
 )
 from repro.engine.results import RunResult
 from repro.engine.runner import SCHEDULER_NAMES, run_trace
 from repro.errors import CoordinatorCrash, JournalError, RecoveryError
-from repro.experiments import ablations, fig08, fig09, fig10, fig11, fig12, jobid, table1
+from repro.experiments import (
+    ablations,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    jobid,
+    shardscale,
+    table1,
+)
 from repro.experiments.common import (
     ExperimentScale,
     standard_engine,
@@ -59,6 +70,7 @@ EXPERIMENTS = {
     "table1": (table1.run, table1.render),
     "jobid": (jobid.run, jobid.render),
     "urc-ablation": (ablations.urc_vs_saturation, ablations.render_urc),
+    "shardscale": (shardscale.run, shardscale.render),
 }
 
 
@@ -155,6 +167,41 @@ def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
     return faults if faults.enabled or args.replication > 1 else None
 
 
+def _shard_config(args: argparse.Namespace) -> Optional[ShardConfig]:
+    """Build the sharded-execution plan from ``--shards`` and friends;
+    ``None`` when the run is a plain single-coordinator one."""
+    n_shards = getattr(args, "shards", 1)
+    crash_specs = getattr(args, "shard_crash_at", None) or []
+    halt = getattr(args, "halt_after_barrier", None)
+    if n_shards <= 1 and not crash_specs and halt is None:
+        return None
+    crashes = []
+    for spec in crash_specs:
+        head, sep, tail = spec.partition(":")
+        try:
+            if not sep:
+                raise ValueError
+            crashes.append((int(head), float(tail)))
+        except ValueError:
+            raise SystemExit(
+                f"--shard-crash-at expects SHARD:TIME, got {spec!r}"
+            ) from None
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    barrier_every = None
+    if checkpoint_dir is not None:
+        barrier_every = getattr(args, "checkpoint_every_events", None) or 500
+    try:
+        return ShardConfig(
+            n_shards=n_shards,
+            crashes=tuple(crashes),
+            checkpoint_dir=checkpoint_dir,
+            barrier_every_events=barrier_every,
+            halt_after_barrier=halt,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid shard configuration: {exc}") from None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="JAWS (SC 2010) reproduction toolkit"
@@ -218,6 +265,24 @@ def _build_parser() -> argparse.ArgumentParser:
     ckpt.add_argument(
         "--checkpoint-every-seconds", type=float, default=None, metavar="T",
         help="snapshot every T virtual seconds",
+    )
+    shard = run_p.add_argument_group("sharded multi-coordinator execution")
+    shard.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="split the coordinator into N shards with lease-based "
+        "ownership (requires --nodes >= N; 1 = single coordinator)",
+    )
+    shard.add_argument(
+        "--shard-crash-at", action="append", default=None, metavar="SHARD:TIME",
+        help="crash shard SHARD at virtual time TIME; surviving shards "
+        "adopt its ranges after the failover delay (repeatable, at "
+        "most one crash per shard, at least one survivor)",
+    )
+    shard.add_argument(
+        "--halt-after-barrier", type=int, default=None, metavar="K",
+        help="stop the sharded run right after its K-th cluster "
+        "checkpoint barrier (with --checkpoint-dir); resume with "
+        "`repro resume --dir DIR`",
     )
 
     res_p = sub.add_parser("resume", help="resume a crashed run from its checkpoints")
@@ -444,7 +509,32 @@ def _run_one(
     engine: EngineConfig,
     faults: Optional[FaultConfig],
     nodes: int,
+    shards: Optional[ShardConfig] = None,
+    jobs: int = 1,
+    supervisor: Optional[SupervisorConfig] = None,
 ) -> RunResult:
+    if shards is not None:
+        from repro.shard import run_sharded
+
+        sharded = run_sharded(
+            trace,
+            name,
+            max(nodes, 1),
+            shards=shards,
+            engine=engine,
+            faults=faults,
+            jobs=jobs,
+            supervisor=supervisor,
+        )
+        if shards.sharded:
+            stats = sharded.shard_stats
+            print(
+                f"  shards: {stats['n_shards']} "
+                f"(crashes {stats['shard_crashes']}, "
+                f"epoch bumps {stats['epoch_bumps']}, "
+                f"stale retries {stats['stale_retries']})"
+            )
+        return sharded.result
     if nodes > 1 or faults is not None:
         return run_cluster(trace, name, max(nodes, 1), engine=engine, faults=faults).result
     return run_trace(trace, name, engine)
@@ -486,12 +576,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = _run_engine(args)
     if args.overload:
         engine = dataclasses.replace(engine, overload=_overload_config(args))
+    shards = _shard_config(args)
+    if shards is not None and args.shards > args.nodes:
+        raise SystemExit(
+            f"--shards {args.shards} needs at least that many nodes "
+            f"(got --nodes {args.nodes})"
+        )
+    if shards is not None and shards.sharded:
+        # Sharded runs checkpoint through cluster barriers; the engine's
+        # own checkpoint config must stay off (run_sharded enforces it).
+        engine = dataclasses.replace(engine, checkpoint=CheckpointConfig())
     schedulers = args.scheduler or ["jaws2"]
     if len(schedulers) > 1:
-        if args.nodes > 1 or faults is not None:
+        if args.nodes > 1 or faults is not None or shards is not None:
             raise SystemExit(
                 "multiple --scheduler values fan out via the single-node "
-                "runner; drop --nodes/fault flags or run them one at a time"
+                "runner; drop --nodes/--shards/fault flags or run them "
+                "one at a time"
             )
         specs = [RunSpec(trace, name, engine, label=name) for name in schedulers]
         supervisor = _supervisor_from_args(args)
@@ -514,7 +615,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             _print_result(result, degraded=False, protected=args.overload)
         return 0
     try:
-        result = _run_one(trace, schedulers[0], engine, faults, args.nodes)
+        result = _run_one(
+            trace,
+            schedulers[0],
+            engine,
+            faults,
+            args.nodes,
+            shards=shards,
+            jobs=args.jobs,
+            supervisor=_supervisor_from_args(args),
+        )
     except CoordinatorCrash as exc:
         print(f"coordinator crashed: {exc}", file=sys.stderr)
         if getattr(args, "checkpoint_dir", None):
@@ -600,6 +710,31 @@ def _cmd_overload(args: argparse.Namespace) -> int:
 
 def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.engine.simulator import Simulator
+    from repro.shard.recovery import latest_manifest, resume_cluster
+
+    if latest_manifest(args.dir) is not None:
+        # Sharded run: the directory holds a cluster manifest plus one
+        # snapshot/WAL set per shard — restore the consistent cut.
+        try:
+            control = resume_cluster(args.dir)
+        except RecoveryError as exc:
+            print(f"recovery failed: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"resuming sharded run: {control.topology.n_shards} shards at "
+            f"cluster barrier {control._barrier_count} "
+            f"(epochs {list(control.ownership.epoch)})"
+        )
+        try:
+            sharded = control.run()
+        except RecoveryError as exc:
+            print(f"recovery failed during WAL replay: {exc}", file=sys.stderr)
+            return 2
+        _print_result(
+            sharded.result,
+            degraded=any(d.injector is not None for d in control.domains),
+        )
+        return 0
 
     try:
         sim = Simulator.restore(args.dir)

@@ -11,7 +11,9 @@ the same way, so a node owns the full time history of its region.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import AbstractSet, Optional
 
+from repro.errors import PartitionError
 from repro.grid.dataset import DatasetSpec
 
 __all__ = ["MortonRangePartitioner"]
@@ -34,11 +36,14 @@ class MortonRangePartitioner:
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
-            raise ValueError("n_nodes must be >= 1")
+            raise PartitionError("n_nodes must be >= 1")
         if self.n_nodes > self.spec.atoms_per_timestep:
-            raise ValueError("more nodes than atoms per time step")
+            raise PartitionError("more nodes than atoms per time step")
         if not 1 <= self.replication <= self.n_nodes:
-            raise ValueError("replication must be in [1, n_nodes]")
+            raise PartitionError(
+                f"replication must be in [1, n_nodes]: got {self.replication} "
+                f"with {self.n_nodes} nodes"
+            )
 
     def node_of(self, atom_id: int) -> int:
         """Owning node of a packed atom id.
@@ -61,3 +66,42 @@ class MortonRangePartitioner:
         lo = node * per // self.n_nodes
         hi = (node + 1) * per // self.n_nodes
         return range(lo, hi)
+
+    def assert_replication(
+        self,
+        down_nodes: AbstractSet[int] = frozenset(),
+        require: Optional[int] = None,
+        context: str = "partition",
+    ) -> None:
+        """Check the replica-placement invariant and raise on breach.
+
+        Every *non-empty* node range must keep at least ``require``
+        (default: the configured :attr:`replication`) of its ring-wise
+        owners outside ``down_nodes``.  Rebalancing and shard-failover
+        paths call this before committing a new assignment, so a
+        transfer that would leave a range silently under-replicated
+        fails loudly with a typed
+        :class:`~repro.errors.PartitionError` instead — the range-split
+        edge case where a crashed node set swallows every copy of a
+        small trailing range used to pass unnoticed until the first
+        unroutable sub-query.
+        """
+        need = self.replication if require is None else require
+        if need < 1:
+            raise PartitionError(f"{context}: required replica count must be >= 1")
+        bad: list[tuple[int, int, int]] = []
+        for node in range(self.n_nodes):
+            atoms = self.atoms_of_node(node)
+            if len(atoms) == 0:
+                continue  # an empty range has nothing to replicate
+            owners = tuple((node + i) % self.n_nodes for i in range(self.replication))
+            alive = sum(1 for owner in owners if owner not in down_nodes)
+            if alive < need:
+                bad.append((node, atoms.start, atoms.stop))
+        if bad:
+            raise PartitionError(
+                f"{context}: {len(bad)} Morton range(s) would keep fewer than "
+                f"{need} available replica(s) (replication={self.replication}, "
+                f"down={sorted(down_nodes)})",
+                ranges=bad,
+            )

@@ -22,6 +22,7 @@ __all__ = [
     "FaultConfig",
     "CheckpointConfig",
     "OverloadConfig",
+    "ShardConfig",
     "EngineConfig",
 ]
 
@@ -388,6 +389,146 @@ class CheckpointConfig:
         )
 
     def with_(self, **kwargs: Any) -> "CheckpointConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Sharded multi-coordinator execution (:mod:`repro.shard`).
+
+    Partitions the coordinator by Morton range into :attr:`n_shards`
+    shard coordinators, each running the two-level JAWS scheduling loop
+    over its slice of the cluster, composed by a deterministic virtual-
+    time control plane with epoch-numbered leases on every shard's
+    ranges.  The default instance (``n_shards=1``) degenerates to the
+    single-coordinator engine, byte-identically.
+
+    Attributes
+    ----------
+    n_shards:
+        Coordinator shard count.  ``1`` runs the plain single-
+        coordinator engine.
+    crashes:
+        Deterministic shard-crash schedule: ``(shard_index,
+        crash_time)`` pairs in virtual seconds
+        (:class:`~repro.engine.faults.FaultKind.SHARD_CRASH`).  A
+        crashed shard never returns; its Morton-range leases fail over
+        to the next surviving shard ring-wise after
+        :attr:`failover_delay`, at a deterministic epoch bump.  At
+        least one shard must survive the whole schedule.
+    crash_window:
+        Seeded alternative to :attr:`crashes`: a ``(lo, hi)``
+        virtual-time window from which :attr:`n_window_crashes` crash
+        points (victim shard + time) are drawn once, from a dedicated
+        ``random.Random(f"{seed}:shard_crash")`` stream — arming shard
+        crashes never perturbs disk-fault outcomes.  Ignored when
+        :attr:`crashes` is non-empty.
+    n_window_crashes:
+        How many crashes to draw from :attr:`crash_window`.
+    seed:
+        Seed of the dedicated shard-crash stream.
+    failover_delay:
+        Virtual seconds between a shard crash and the moment the
+        surviving successor holds its leases (detection + takeover
+        cost).  The crashed domain is frozen in between; messages
+        addressed to it are held and re-resolved.
+    message_delay:
+        Cross-shard message latency in virtual seconds — also the
+        conservative lookahead of the control plane's superstep
+        windows, so it must be positive.
+    retry_delay:
+        Extra virtual-time penalty charged when a message carrying a
+        stale epoch is re-addressed to the range's new owner (the
+        typed retry/timeout path).
+    barrier_every_events:
+        Cluster recovery-point cadence: force a consistent cut — one
+        CRC-guarded snapshot per shard plus an epoch-tagged cluster
+        manifest — every N cluster-wide dispatched events.  ``None``
+        disables barriers (no resume possible).
+    checkpoint_dir:
+        Root directory for per-shard checkpoint subdirectories
+        (``shard-<i>/``) and cluster manifests.  Required when
+        :attr:`barrier_every_events` is set.
+    halt_after_barrier:
+        Testing/ops knob mirroring ``coordinator_crash_at``: abort the
+        whole cluster run (raising
+        :class:`~repro.errors.CoordinatorCrash`) immediately after
+        writing this 1-based barrier, leaving a durable recovery point
+        for ``repro resume`` to restore bit-identically.
+    """
+
+    n_shards: int = 1
+    crashes: tuple = ()
+    crash_window: Optional[tuple] = None
+    n_window_crashes: int = 1
+    seed: int = 0
+    failover_delay: float = 0.05
+    message_delay: float = 0.01
+    retry_delay: float = 0.01
+    barrier_every_events: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    halt_after_barrier: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError("n_shards must be >= 1")
+        crashes = tuple((int(s), float(t)) for s, t in self.crashes)
+        for shard, time_ in crashes:
+            if not 0 <= shard < self.n_shards:
+                raise ConfigurationError(
+                    f"crash schedule names shard {shard} but there are "
+                    f"{self.n_shards} shards"
+                )
+            if time_ <= 0:
+                raise ConfigurationError("shard crash times must be positive")
+        if len({s for s, _ in crashes}) != len(crashes):
+            raise ConfigurationError("a shard can crash at most once (crash-stop)")
+        if len(crashes) >= self.n_shards and crashes:
+            raise ConfigurationError("at least one shard must survive the crash schedule")
+        object.__setattr__(self, "crashes", crashes)
+        if self.crash_window is not None:
+            window = tuple(float(v) for v in self.crash_window)
+            if len(window) != 2 or not 0 <= window[0] < window[1]:
+                raise ConfigurationError("crash_window must satisfy 0 <= lo < hi")
+            if not 1 <= self.n_window_crashes < max(self.n_shards, 2):
+                raise ConfigurationError(
+                    "n_window_crashes must leave at least one surviving shard"
+                )
+            object.__setattr__(self, "crash_window", window)
+        if (self.crashes or self.crash_window is not None) and self.n_shards < 2:
+            raise ConfigurationError("shard crashes need n_shards >= 2 (a survivor)")
+        if self.failover_delay <= 0:
+            raise ConfigurationError("failover_delay must be positive")
+        if self.message_delay <= 0:
+            raise ConfigurationError(
+                "message_delay must be positive (it is the control plane's "
+                "conservative lookahead)"
+            )
+        if self.retry_delay <= 0:
+            raise ConfigurationError("retry_delay must be positive")
+        if self.barrier_every_events is not None:
+            if self.barrier_every_events < 1:
+                raise ConfigurationError("barrier_every_events must be >= 1 or None")
+            if self.checkpoint_dir is None:
+                raise ConfigurationError("barriers need checkpoint_dir")
+        if self.halt_after_barrier is not None:
+            if self.halt_after_barrier < 1:
+                raise ConfigurationError("halt_after_barrier must be >= 1 or None")
+            if self.barrier_every_events is None:
+                raise ConfigurationError("halt_after_barrier needs barrier_every_events")
+
+    @property
+    def sharded(self) -> bool:
+        """True when execution actually fans out over multiple shards."""
+        return self.n_shards > 1
+
+    @property
+    def crash_configured(self) -> bool:
+        """True when any shard crash (explicit or seeded) is armed."""
+        return bool(self.crashes) or self.crash_window is not None
+
+    def with_(self, **kwargs: Any) -> "ShardConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 

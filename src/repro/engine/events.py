@@ -19,8 +19,15 @@ class EventKind(enum.IntEnum):
     fire after that, so a query completing exactly at its deadline
     counts as completed; and the overload control tick runs last of
     all, observing the fully settled queue state at its timestamp.
-    (OVERLOAD_TICK is appended rather than renumbered into place so
-    WAL event fingerprints from older runs keep their kind codes.)"""
+    (OVERLOAD_TICK and SHARD_MSG are appended rather than renumbered
+    into place so WAL event fingerprints from older runs keep their
+    kind codes.)
+
+    SHARD_MSG carries one cross-shard control-plane message
+    (:mod:`repro.shard`) delivered into a shard coordinator's local
+    event loop at its virtual delivery time; it dispatches after the
+    overload tick at equal timestamps, so remote notifications observe
+    the same settled state a local observer would."""
 
     BATCH_DONE = 0
     NODE_UP = 1
@@ -30,6 +37,7 @@ class EventKind(enum.IntEnum):
     REROUTE = 5
     QUERY_DEADLINE = 6
     OVERLOAD_TICK = 7
+    SHARD_MSG = 8
 
 
 @dataclass(order=True)

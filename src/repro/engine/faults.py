@@ -35,13 +35,19 @@ class FaultKind(enum.Enum):
     attempt; ``COORDINATOR_CRASH`` is a whole-run fault — the engine
     aborts with :class:`~repro.errors.CoordinatorCrash` at an armed
     event index (recovered via the checkpoint subsystem,
-    :mod:`repro.recovery`).
+    :mod:`repro.recovery`).  ``SHARD_CRASH`` is its cluster-level
+    analog for sharded multi-coordinator runs (:mod:`repro.shard`): one
+    coordinator shard crash-stops at a configured or seeded virtual
+    time, its Morton-range leases fail over to a surviving shard at a
+    deterministic epoch bump, and in-flight cross-shard work is
+    re-resolved via typed retry in virtual time.
     """
 
     OK = "ok"
     TRANSIENT = "transient"
     LOST = "lost"
     COORDINATOR_CRASH = "coordinator_crash"
+    SHARD_CRASH = "shard_crash"
 
 
 @dataclass

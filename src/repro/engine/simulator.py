@@ -398,6 +398,8 @@ class Simulator:
             self._reroute(sq, arrival, ev.time, from_node=None)
         elif ev.kind is EventKind.QUERY_DEADLINE:
             self._on_query_deadline(ev.payload, ev.time)
+        elif ev.kind is EventKind.SHARD_MSG:
+            self._on_shard_msg(ev.payload, ev.time)
         else:  # OVERLOAD_TICK
             self._on_overload_tick(ev.time)
         if self.sanitizer is not None:
@@ -565,6 +567,18 @@ class Simulator:
     def _on_query_deadline(self, query_id: int, now: float) -> None:
         if query_id in self._remaining:
             self._cancel_query(query_id, now, reason="timeout")
+
+    def _on_shard_msg(self, payload: object, now: float) -> None:
+        """Handle one delivered cross-shard message.
+
+        The base engine never schedules ``SHARD_MSG`` events; the
+        sharded coordinator (:mod:`repro.shard`) overrides this hook to
+        apply routed sub-queries, arrival/completion broadcasts and
+        completion notices from peer shards."""
+        raise SimulationError(
+            "SHARD_MSG delivered to a non-sharded simulator",
+            **{**self._diagnostics(), "clock": now},
+        )
 
     def _on_overload_tick(self, now: float) -> None:
         """Overload control loop: advance the brownout mode machine and
@@ -748,6 +762,40 @@ class Simulator:
         finally:
             if self._checkpointer is not None:
                 self._checkpointer.flush()
+
+    def run_window(self, horizon: float) -> None:
+        """Process every pending event strictly before ``horizon``.
+
+        The conservative superstep primitive of the sharded control
+        plane (:mod:`repro.shard`): because cross-shard messages travel
+        with a positive virtual latency, every event in ``[clock,
+        horizon)`` can be processed without hearing from peer shards —
+        anything they send during the same window delivers at or after
+        ``horizon``.  The loop body mirrors :meth:`run` exactly (drain
+        same-time events, start batches, advance), minus global
+        concerns that only the control plane can decide: livelock
+        detection and forced releases need cluster-wide knowledge, so
+        an idle shard simply returns.
+        """
+        while True:
+            while self._heap and self._heap[0].time <= self.clock:
+                self._dispatch(heapq.heappop(self._heap))
+            self._start_batches()
+            if not self._heap or self._heap[0].time >= horizon:
+                return
+            ev = heapq.heappop(self._heap)
+            self.clock = ev.time
+            if self.clock > self.config.max_sim_time:
+                raise SimTimeExceededError(
+                    f"virtual clock exceeded max_sim_time={self.config.max_sim_time}",
+                    **self._diagnostics(),
+                )
+            self._dispatch(ev)
+
+    def next_event_time(self) -> Optional[float]:
+        """Earliest pending local event time (None when idle) — the
+        control plane's input for picking the next superstep window."""
+        return self._heap[0].time if self._heap else None
 
     # ------------------------------------------------------------------
     # Crash recovery

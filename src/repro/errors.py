@@ -23,6 +23,8 @@ __all__ = [
     "JournalError",
     "QueryRejected",
     "ConfigurationError",
+    "PartitionError",
+    "ShardProtocolError",
     "WorkerCrashError",
     "SupervisorDegradedWarning",
 ]
@@ -36,6 +38,33 @@ class ConfigurationError(ValueError):
     working, while letting callers catch configuration mistakes
     specifically.
     """
+
+
+class PartitionError(ConfigurationError):
+    """A data or coordinator partition violates a placement invariant.
+
+    Raised by :class:`~repro.cluster.partition.MortonRangePartitioner`
+    and the shard topology (:mod:`repro.shard`) when a partitioning
+    decision would silently under-replicate data: an atom range left
+    with fewer available replicas than configured, a coordinator shard
+    assigned an empty node slice, or a failover transfer whose target
+    assignment cannot serve every range it acquires.  Subclasses
+    :class:`ConfigurationError` (and therefore ``ValueError``) so
+    existing partitioner validation call sites keep working.
+
+    Attributes
+    ----------
+    ranges:
+        Offending ``(node, lo, hi)`` Morton-range triples (possibly
+        truncated for display), empty when the violation is not
+        range-specific.
+    """
+
+    def __init__(self, message: str, *, ranges: Sequence[tuple] = ()) -> None:
+        self.ranges = [tuple(r) for r in ranges]
+        shown = self.ranges[:_MAX_IDS_SHOWN] if self.ranges else []
+        suffix = f" [ranges={shown}]" if shown else ""
+        super().__init__(f"{message}{suffix}")
 
 #: How many pending query ids to embed in the rendered message.
 _MAX_IDS_SHOWN = 20
@@ -112,6 +141,52 @@ class CoordinatorCrash(SimulationError):
     dying mid-run.  State persisted by the checkpoint subsystem up to
     this point is intact; ``Simulator.restore`` resumes from it.
     """
+
+
+class ShardProtocolError(SimulationError):
+    """The sharded control plane observed a protocol violation.
+
+    Raised by :mod:`repro.shard` when the lease-based ownership
+    protocol is broken in a way retry cannot fix: a completion notice
+    over-delivering sub-query work (more DONE counts than the query has
+    outstanding — double execution), a message addressed to a domain no
+    shard owns, or a deposed shard's output surviving past its lease.
+    Stale-epoch messages are *not* errors — they are re-addressed with
+    a typed retry in virtual time and counted; this error means the
+    epoch fencing itself failed.
+
+    Attributes
+    ----------
+    domain:
+        The Morton-range domain index the violating message addressed.
+    epoch:
+        The epoch the message carried.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        domain: int = -1,
+        epoch: int = -1,
+        clock: float = 0.0,
+        event_index: int = 0,
+        rng_digest: Optional[str] = None,
+        pending_queries: Sequence[int] = (),
+        queue_depths: Sequence[int] = (),
+        busy_flags: Sequence[bool] = (),
+    ) -> None:
+        self.domain = domain
+        self.epoch = epoch
+        super().__init__(
+            f"{message} (domain={domain}, epoch={epoch})",
+            clock=clock,
+            event_index=event_index,
+            rng_digest=rng_digest,
+            pending_queries=pending_queries,
+            queue_depths=queue_depths,
+            busy_flags=busy_flags,
+        )
 
 
 class RecoveryError(SimulationError):

@@ -23,7 +23,14 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.config import CacheConfig, CostModel, EngineConfig, FaultConfig, OverloadConfig
+from repro.config import (
+    CacheConfig,
+    CostModel,
+    EngineConfig,
+    FaultConfig,
+    OverloadConfig,
+    ShardConfig,
+)
 from repro.engine.runner import SCHEDULER_NAMES
 from repro.fuzz.spec import ScenarioEntry, ScenarioSpec
 from repro.grid.dataset import DatasetSpec
@@ -56,6 +63,8 @@ _STRESSOR_PROB = (
     ("node_crash", 0.30),
     ("coordinator_crash", 0.35),
     ("overload", 0.45),
+    ("shard_crash_storm", 0.30),
+    ("ownership_churn", 0.20),
 )
 
 
@@ -200,6 +209,35 @@ def build_scenario(seed: int, quick: bool = False) -> ScenarioSpec:
             entries.append(
                 ScenarioEntry("retry_gaming", {"max_resubmits": rng.randrange(1, 9)})
             )
+    if "shard_crash_storm" in picked:
+        n_shards = rng.choice((2, 4))
+        lo = round(rng.uniform(0.1, 0.5), 3)
+        entries.append(
+            ScenarioEntry(
+                "shard_crash_storm",
+                {
+                    "n_shards": n_shards,
+                    "n_crashes": rng.randrange(1, n_shards),
+                    "window_lo_frac": lo,
+                    "window_hi_frac": round(lo + rng.uniform(0.1, 0.4), 3),
+                    "seed": rng.randrange(1 << 16),
+                },
+            )
+        )
+    if "ownership_churn" in picked:
+        # Staggered explicit crashes: successive operators die, so the
+        # same range is re-adopted under successive epoch bumps.
+        entries.append(
+            ScenarioEntry(
+                "ownership_churn",
+                {
+                    "n_shards": 4,
+                    "n_crashes": rng.randrange(2, 4),
+                    "start_frac": round(rng.uniform(0.1, 0.4), 3),
+                    "spacing_frac": round(rng.uniform(0.05, 0.2), 3),
+                },
+            )
+        )
     return ScenarioSpec(
         seed=seed,
         scheduler=scheduler,
@@ -223,12 +261,24 @@ class MaterializedScenario:
     copy of ``engine`` together with a temporary checkpoint directory
     (the crash point is drawn inside the injector from the fault
     config's dedicated seeded stream).
+
+    ``shards`` is the resolved sharded-replay plan when the spec
+    carries a ``shard_crash_storm`` or ``ownership_churn`` entry
+    (churn wins when both are present — its staggered schedule
+    subsumes the storm); ``planned_shard_crashes`` is how many shard
+    crashes that plan arms, so the shard stage can require every one
+    of them to actually fire.  The runner replays the trace under this
+    plan with overload admission and the single-coordinator sanitizer
+    stripped (``run_sharded`` models neither) and audits the
+    cross-shard conservation counters instead.
     """
 
     trace: Trace
     engine: EngineConfig
     crash_window: Optional[Tuple[int, int]] = None
     retry_gaming: Optional[ScenarioEntry] = None
+    shards: Optional[ShardConfig] = None
+    planned_shard_crashes: int = 0
 
 
 def _id_ceilings(jobs: List[Job]) -> Tuple[int, int, int]:
@@ -310,6 +360,45 @@ def _morton_hostile_jobs(
             )
         )
     return jobs
+
+
+def _shard_plan(spec: ScenarioSpec) -> Tuple[Optional[ShardConfig], int]:
+    """Resolve the sharded-replay plan: ``(config, planned crashes)``.
+
+    ``ownership_churn`` builds an explicit staggered schedule where the
+    shard that just adopted a range is the next to die, so the same
+    Morton ranges fail over through successive epoch bumps;
+    ``shard_crash_storm`` arms the seeded crash-window draw instead.
+    Crash counts clamp to ``n_shards - 1`` (at least one survivor), so
+    shrinker-halved shard counts always stay materializable.
+    """
+    churn = spec.first("ownership_churn")
+    if churn is not None:
+        n_shards = max(2, int(churn.get("n_shards", 4)))
+        n_crashes = min(max(1, int(churn.get("n_crashes", 2))), n_shards - 1)
+        start = max(0.0, float(churn.get("start_frac", 0.2))) * spec.span
+        spacing = max(1.0, float(churn.get("spacing_frac", 0.1)) * spec.span)
+        # Victims ascend from shard 1: shard 1 dies and shard 2 adopts
+        # its ranges, then shard 2 dies and shard 3 adopts both — every
+        # earlier victim's ranges churn again on each later crash.
+        crashes = tuple(
+            (1 + i, round(start + i * spacing, 6)) for i in range(n_crashes)
+        )
+        return ShardConfig(n_shards=n_shards, crashes=crashes), n_crashes
+    storm = spec.first("shard_crash_storm")
+    if storm is not None:
+        n_shards = max(2, int(storm.get("n_shards", 2)))
+        n_crashes = min(max(1, int(storm.get("n_crashes", 1))), n_shards - 1)
+        lo = max(0.0, float(storm.get("window_lo_frac", 0.2))) * spec.span
+        hi = max(lo + 1.0, float(storm.get("window_hi_frac", 0.6)) * spec.span)
+        plan = ShardConfig(
+            n_shards=n_shards,
+            crash_window=(lo, hi),
+            n_window_crashes=n_crashes,
+            seed=int(storm.get("seed", spec.seed)),
+        )
+        return plan, n_crashes
+    return None, 0
 
 
 def _base_params(spec: ScenarioSpec) -> WorkloadParams:
@@ -459,9 +548,12 @@ def materialize(spec: ScenarioSpec) -> MaterializedScenario:
         hi = max(lo + 1, int(float(crash.get("window_hi_frac", 0.8)) * floor))
         crash_window = (lo, hi)
 
+    shards, planned_shard_crashes = _shard_plan(spec)
     return MaterializedScenario(
         trace=trace,
         engine=engine,
         crash_window=crash_window,
         retry_gaming=spec.first("retry_gaming") if ov is not None else None,
+        shards=shards,
+        planned_shard_crashes=planned_shard_crashes,
     )

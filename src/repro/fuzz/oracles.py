@@ -31,12 +31,19 @@ Oracles
     A scenario that armed a coordinator-crash window actually crashed:
     the clamp guarantees the drawn crash point lies inside the live
     event range, so "armed but never fired" is a regression.
+``shard_conservation``
+    A sharded replay (``shard_crash_storm`` / ``ownership_churn``)
+    conserved every cross-shard sub-query across epoch changes: the
+    control plane's cluster-wide counters satisfy ``created ==
+    applied + residual_cancelled`` and ``executed == applied +
+    exec_dropped + late_done_dropped`` (nothing lost, nothing
+    double-counted), and every armed shard crash actually fired.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Optional
+from typing import Any, Mapping, Optional
 
 import numpy as np
 
@@ -48,6 +55,7 @@ __all__ = [
     "ORACLE_NAMES",
     "check_conservation",
     "check_metric_sanity",
+    "check_shard_conservation",
     "normalize_result",
     "results_equivalent",
 ]
@@ -59,6 +67,7 @@ ORACLE_NAMES = (
     "no_starvation",
     "crash_resume",
     "crash_effective",
+    "shard_conservation",
 )
 
 #: RunResult fields measuring host wall-clock time, not simulation
@@ -137,6 +146,44 @@ def check_metric_sanity(result: RunResult, engine: EngineConfig) -> Optional[str
     ):
         if not 0.0 <= value <= 1.0:
             return f"{name} {value} outside [0, 1]"
+    return None
+
+
+def check_shard_conservation(
+    shard_stats: Mapping[str, Any], expected_crashes: int = 0
+) -> Optional[str]:
+    """Cross-shard sub-query conservation across epoch changes.
+
+    ``shard_stats`` is :attr:`~repro.shard.control.ShardRunResult.shard_stats`;
+    the control plane already raises :class:`~repro.errors.ShardProtocolError`
+    on a per-run violation, so this oracle re-derives the identities from
+    the reported totals — a result whose counters were merged or
+    serialized wrongly fails here even though the run completed.
+    """
+    totals = dict(shard_stats.get("conservation", {}))
+    created = int(totals.get("created", 0))
+    applied = int(totals.get("applied", 0))
+    residual = int(totals.get("residual_cancelled", 0))
+    executed = int(totals.get("executed", 0))
+    exec_dropped = int(totals.get("exec_dropped", 0))
+    late_dropped = int(totals.get("late_done_dropped", 0))
+    if created != applied + residual:
+        return (
+            f"sub-queries lost or duplicated across shards: created={created} "
+            f"!= applied={applied} + residual_cancelled={residual}"
+        )
+    if executed != applied + exec_dropped + late_dropped:
+        return (
+            f"execution accounting broken: executed={executed} != "
+            f"applied={applied} + exec_dropped={exec_dropped} + "
+            f"late_done_dropped={late_dropped}"
+        )
+    fired = int(shard_stats.get("shard_crashes", 0))
+    if fired != expected_crashes:
+        return (
+            f"armed {expected_crashes} shard crash(es) but {fired} fired "
+            "(crash schedule regression?)"
+        )
     return None
 
 

@@ -24,6 +24,17 @@ stages:
     (``crash_effective``), restore from the latest snapshot, resume,
     and require the resumed result to be bit-identical to the
     uninterrupted base result (``crash_resume``).
+``shard``
+    When the spec carries a ``shard_crash_storm`` or
+    ``ownership_churn`` entry: replay the trace through the sharded
+    control plane (:func:`repro.shard.run_sharded`) with the armed
+    shard-crash plan, overload admission and the single-coordinator
+    sanitizer stripped (the sharded path models neither), then run the
+    terminal-state ``conservation`` oracle on the merged result and
+    the cross-shard ``shard_conservation`` oracle on the control
+    plane's cluster-wide counters.  A
+    :class:`~repro.errors.ShardProtocolError` raised mid-run becomes
+    its own typed failure.
 
 Any violated oracle or unexpected engine exception becomes a typed
 failure ``(kind, name)`` — the signature the shrinker preserves while
@@ -43,7 +54,7 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
-from repro.config import CheckpointConfig
+from repro.config import CheckpointConfig, OverloadConfig
 from repro.engine.results import RunResult
 from repro.engine.runner import make_scheduler, run_trace
 from repro.engine.simulator import Simulator
@@ -57,6 +68,7 @@ from repro.fuzz.build import MaterializedScenario, materialize
 from repro.fuzz.oracles import (
     check_conservation,
     check_metric_sanity,
+    check_shard_conservation,
     results_equivalent,
 )
 from repro.fuzz.spec import ScenarioSpec
@@ -311,6 +323,48 @@ def _crash_stage(
 
 
 # ---------------------------------------------------------------------------
+# Sharded-replay stage
+# ---------------------------------------------------------------------------
+def _shard_stage(
+    scenario: MaterializedScenario, spec: ScenarioSpec
+) -> Tuple[Optional[FuzzFailure], dict[str, Any]]:
+    assert scenario.shards is not None
+    stage = "shard"
+    from repro.shard import run_sharded  # deferred: pulls in the cluster stack
+
+    # run_sharded refuses overload admission and the single-coordinator
+    # sanitizer by design — strip both; the cross-shard conservation
+    # counters are the sharded run's audit mechanism.
+    engine = scenario.engine.with_(overload=OverloadConfig(), sanitize=False)
+    n_nodes = 2 * scenario.shards.n_shards
+    try:
+        out = run_sharded(
+            scenario.trace,
+            spec.scheduler,
+            n_nodes,
+            shards=scenario.shards,
+            engine=engine,
+        )
+    except Exception as exc:  # noqa: BLE001 - every failure is data
+        return _classify(exc, stage), {}
+    stats = {
+        "shard_crashes": int(out.shard_stats.get("shard_crashes", 0)),
+        "shard_epoch_bumps": int(out.shard_stats.get("epoch_bumps", 0)),
+        "shard_stale_retries": int(out.shard_stats.get("stale_retries", 0)),
+        "shard_messages": int(out.shard_stats.get("messages_delivered", 0)),
+    }
+    detail = check_conservation(scenario.trace, out.result)
+    if detail is not None:
+        return FuzzFailure("oracle", "conservation", stage, detail), stats
+    detail = check_shard_conservation(
+        out.shard_stats, expected_crashes=scenario.planned_shard_crashes
+    )
+    if detail is not None:
+        return FuzzFailure("oracle", "shard_conservation", stage, detail), stats
+    return None, stats
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 def execute_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
@@ -364,6 +418,11 @@ def execute_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     if outcome.failure is None and scenario.crash_window is not None:
         checked += ["crash_effective", "crash_resume"]
         outcome.failure = _crash_stage(scenario, spec, base_result)
+
+    if outcome.failure is None and scenario.shards is not None:
+        checked += ["shard_conservation"]
+        outcome.failure, shard_stats = _shard_stage(scenario, spec)
+        outcome.stats.update(shard_stats)
 
     outcome.oracles_checked = tuple(checked)
     return outcome

@@ -53,6 +53,10 @@ _HALVABLE: Dict[str, Tuple[Tuple[str, float], ...]] = {
     "node_crash": (),
     "coordinator_crash": (),
     "query_class": (),
+    # Materialization clamps crash counts to n_shards - 1, so halving
+    # the shard count never produces an unbuildable schedule.
+    "shard_crash_storm": (("n_shards", 2), ("n_crashes", 1)),
+    "ownership_churn": (("n_shards", 2), ("n_crashes", 1)),
 }
 
 

@@ -34,6 +34,10 @@ kind                      stressor
 ``overload``              admission control + brownout + quotas enabled
 ``retry_gaming``          adversarial client resubmitting rejected jobs
                           at exactly ``clock + retry_after``
+``shard_crash_storm``     sharded replay with seeded shard crashes drawn
+                          from a window (cross-shard conservation oracle)
+``ownership_churn``       sharded replay with staggered explicit crashes
+                          so surviving shards adopt ranges repeatedly
 ========================  =================================================
 """
 
@@ -59,6 +63,8 @@ ENTRY_KINDS = (
     "coordinator_crash",
     "overload",
     "retry_gaming",
+    "shard_crash_storm",
+    "ownership_churn",
 )
 
 #: Reproducer/spec serialization format; bump on incompatible change.

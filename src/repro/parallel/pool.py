@@ -53,7 +53,7 @@ from typing import (
     overload,
 )
 
-from repro.config import EngineConfig, FaultConfig, SchedulerConfig
+from repro.config import EngineConfig, FaultConfig, SchedulerConfig, ShardConfig
 from repro.engine.results import RunResult
 from repro.engine.runner import run_trace
 from repro.errors import WorkerCrashError
@@ -89,6 +89,16 @@ class RunSpec:
         Free-form bookkeeping tag echoed back by callers (never read
         by the runner).  Carried on failure records so a poison spec
         stays identifiable after sweeps reorder their spec lists.
+    n_nodes:
+        Cluster size; ``1`` replays on the single-node engine, larger
+        values route through :func:`~repro.cluster.cluster.run_cluster`
+        (or the sharded path when :attr:`shards` fans out).
+    shards:
+        Optional sharded-execution plan
+        (:class:`~repro.config.ShardConfig`).  Part of the content
+        digest: the shard count and range assignment change scheduling
+        interleavings, so a sharded campaign can never collide with an
+        unsharded one in the journal or the trace cache.
     """
 
     trace: Trace
@@ -97,6 +107,8 @@ class RunSpec:
     scheduler_config: Optional[SchedulerConfig] = None
     faults: Optional[FaultConfig] = None
     label: str = ""
+    n_nodes: int = 1
+    shards: Optional[ShardConfig] = None
 
     def digest(self) -> str:
         """Stable content digest of this spec (journal/failure key).
@@ -106,14 +118,51 @@ class RunSpec:
         digests identically across driver restarts, which is what lets
         a resumed campaign skip completed work by content rather than
         by position.
+
+        Cluster/sharded specs additionally fold in the explicit shard
+        topology digest (shard count + range assignment), so the same
+        trace scheduled under a different coordinator layout never
+        aliases in the journal or trace cache.
         """
         payload = pickle.dumps(self, protocol=4)
+        if self.n_nodes > 1 or self.shards is not None:
+            from repro.shard.topology import ShardTopology  # avoid import cycle
+
+            n_shards = self.shards.n_shards if self.shards is not None else 1
+            payload += ShardTopology(self.n_nodes, n_shards).digest().encode("ascii")
         return hashlib.sha256(payload).hexdigest()[:12]
 
 
 def _execute_spec(spec: RunSpec) -> RunResult:
     """Worker entry point: run one spec to completion (top-level so it
-    pickles by reference)."""
+    pickles by reference).  Routes on the spec's cluster shape: sharded
+    specs through :func:`repro.shard.run_sharded` (whose ``n_shards=1``
+    degenerate case is byte-identical to the cluster path), multi-node
+    specs through :func:`repro.cluster.cluster.run_cluster`, and plain
+    specs through the single-node runner exactly as before."""
+    if spec.shards is not None:
+        from repro.shard import run_sharded  # avoid import cycle
+
+        return run_sharded(
+            spec.trace,
+            spec.scheduler,
+            spec.n_nodes,
+            shards=spec.shards,
+            engine=spec.engine,
+            config=spec.scheduler_config,
+            faults=spec.faults,
+        ).result
+    if spec.n_nodes > 1:
+        from repro.cluster.cluster import run_cluster
+
+        return run_cluster(
+            spec.trace,
+            spec.scheduler,
+            spec.n_nodes,
+            engine=spec.engine,
+            config=spec.scheduler_config,
+            faults=spec.faults,
+        ).result
     return run_trace(
         spec.trace,
         spec.scheduler,

@@ -161,7 +161,18 @@ class CheckpointManager:
 
     def log_event(self, sim: "Simulator", ev: Event) -> None:
         """Write-ahead hook: called immediately before dispatching."""
-        record = make_record(sim.event_index, ev)
+        self.log_event_at(sim, sim.event_index, ev)
+
+    def log_event_at(self, sim: "Simulator", index: int, ev: Event) -> None:
+        """Write-ahead (or replay-verify) one event at an explicit index.
+
+        The sharded control plane (:mod:`repro.shard`) records events
+        as ``(index, event)`` pairs during a superstep window — the
+        window may have executed in a worker process without file
+        handles — and flushes them here afterwards; the plain engine's
+        :meth:`log_event` is the ``index == sim.event_index`` case.
+        """
+        record = make_record(index, ev)
         if self.replaying:
             expected = self._replay[self._replay_pos]
             if record != expected:
@@ -190,6 +201,18 @@ class CheckpointManager:
         if not due and cfg.every_seconds is not None:
             due = sim.clock - self._last_snapshot_clock >= cfg.every_seconds
         if due:
+            self._snapshot(sim)
+
+    def force_snapshot(self, sim: "Simulator") -> None:
+        """Take a snapshot now, regardless of policy.
+
+        The cluster-consistent barrier of :mod:`repro.shard` drives
+        per-shard snapshots explicitly (the per-shard policy never
+        self-fires, so every shard's cut lands at the same barrier).
+        Skipped while replaying, exactly like :meth:`maybe_snapshot` —
+        the pre-crash snapshot files already exist.
+        """
+        if not self.replaying:
             self._snapshot(sim)
 
     def flush(self) -> None:

@@ -87,6 +87,12 @@ def event_fingerprint(ev: Event) -> str:
         # the deterministic event order, which the record's index and
         # time already pin down.
         parts = ("tick",)
+    elif ev.kind is EventKind.SHARD_MSG:
+        # Cross-shard message (repro.shard): the payload exposes its
+        # own semantic identity tuple (kind tag, endpoints, epoch,
+        # sender sequence, times as float.hex) — duck-typed so the
+        # recovery layer stays import-independent of the shard package.
+        parts = ("shard_msg", *payload.fingerprint_parts())
     else:  # pragma: no cover - future event kinds degrade to kind-only
         parts = ("opaque", int(ev.kind))
     return _digest(parts)

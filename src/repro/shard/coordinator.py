@@ -1,0 +1,685 @@
+"""One coordinator shard: the two-level JAWS loop over a node block.
+
+A :class:`ShardSimulator` is a :class:`~repro.engine.simulator.Simulator`
+whose ``nodes`` list is full cluster length, but only the contiguous
+block assigned by the :class:`~repro.shard.topology.ShardTopology` is
+*real* — peer shards' slots hold inert :class:`_RemoteNode` stubs
+(permanently ``busy``, so the batch starter skips them, yet ``up``, so
+the router still names them as targets).  Everything the base engine
+does locally — batching, caching, fault retries, gating — runs
+unchanged on the real block; every interaction that crosses a block
+boundary becomes a typed :class:`~repro.shard.messages.ShardMessage`
+in the outbox, which the control plane moves between shards on the
+virtual-time bus.
+
+The *home-shard protocol*: a job's home shard (``job_id % n_shards``)
+owns its whole lifecycle — JOB_SUBMIT, query arrivals, the
+outstanding sub-query count, deadlines, ordered-job progression, and
+completion/cancellation broadcasts.  Remote shards execute the
+sub-queries routed to their nodes and report back (``done``/``fail``).
+Conservation is enforced, not assumed: the home shard counts every
+sub-query it creates, applies each completion at most once (an
+over-delivery raises :class:`~repro.errors.ShardProtocolError`), and
+attributes every non-applied execution to an explicit drop counter —
+the cross-shard conservation oracle in :mod:`repro.fuzz` checks the
+created = applied + cancelled-residual identity over these counters.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import EngineConfig
+from repro.core.base import Scheduler
+from repro.engine.events import Event, EventKind
+from repro.engine.faults import FaultInjector
+from repro.engine.simulator import Simulator, _Node
+from repro.errors import ShardProtocolError
+from repro.grid.atoms import AtomMapper
+from repro.shard.messages import ShardMessage
+from repro.shard.topology import ShardTopology
+from repro.workload.job import Job
+from repro.workload.query import Query, SubQuery, preprocess_query
+from repro.workload.trace import Trace
+
+__all__ = ["ShardSimulator"]
+
+
+class _NullScheduler:
+    """Inert scheduler for a remote node slot.
+
+    Hears nothing, holds nothing, schedules nothing — remote gating
+    and queue state live in the owning shard's domain.  Module-level
+    (picklable) and stateless, so snapshots stay cheap.
+    """
+
+    name = "remote"
+
+    def on_job_submitted(self, job: Job, now: float) -> None:
+        pass
+
+    def on_query_arrival(self, query: Query, subqueries: Sequence[SubQuery], now: float) -> None:
+        pass
+
+    def next_batch(self, now: float) -> None:  # pragma: no cover - busy stubs never pull
+        return None
+
+    def has_pending(self) -> bool:
+        return False
+
+    def on_query_complete(self, query: Query, now: float) -> None:
+        pass
+
+    def on_run_boundary(self, obs: object) -> None:
+        pass
+
+    def queue_depth(self) -> int:
+        return 0
+
+    def evacuate(self, now: float) -> list:  # pragma: no cover - stubs never crash
+        return []
+
+    def readmit(self, items: Sequence[Tuple[float, SubQuery]], now: float) -> None:
+        raise ShardProtocolError(
+            "readmit on a remote node stub: cross-shard re-admission must "
+            "travel as a 'route' message, never as a local scheduler call"
+        )
+
+    def cancel_query(self, query_id: int, now: float) -> None:
+        pass
+
+    def iter_pending(self) -> list:  # pragma: no cover - overload is off when sharded
+        return []
+
+    def force_release(self, now: float) -> bool:
+        return False
+
+
+class _NullCache:
+    """Stub cache for a remote node slot (run-boundary hook only)."""
+
+    def run_boundary(self) -> None:
+        pass
+
+
+class _RemoteNode:
+    """Placeholder for a node owned by a peer shard.
+
+    ``busy=True`` keeps :meth:`Simulator._start_batches` away;
+    ``up=True`` keeps :meth:`Simulator._route` willing to name it as a
+    routing target (down-ness of remote nodes is decided from the
+    static crash schedule instead, see
+    :meth:`ShardSimulator._remote_down`).
+    """
+
+    def __init__(self) -> None:
+        self.scheduler = _NullScheduler()
+        self.cache = _NullCache()
+        self.busy = True
+        self.up = True
+        self.epoch = 0
+        self.inflight = None
+
+
+class ShardSimulator(Simulator):
+    """The engine for one shard *domain*.
+
+    Deliberately re-implements ``__init__`` rather than calling the
+    base constructor: the node list mixes real nodes with remote stubs,
+    only home jobs are seeded, and the per-domain fault config has
+    already been narrowed (local node crashes only, no coordinator
+    crash, no overload/sanitizer — cluster-level invariants are checked
+    by the control plane and the conservation counters instead).  Every
+    base attribute is initialised here; the event handlers below
+    override exactly the points where work crosses a shard boundary.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        schedulers: Sequence[Scheduler],
+        config: EngineConfig,
+        topology: ShardTopology,
+        shard_id: int,
+        node_of,
+        replicas_of,
+        full_node_crashes: Tuple[Tuple[int, float, float], ...],
+        message_delay: float,
+    ) -> None:
+        local_idx = topology.nodes_of_shard(shard_id)
+        if len(schedulers) != len(local_idx):
+            raise ValueError(
+                f"shard {shard_id} owns {len(local_idx)} node(s) but got "
+                f"{len(schedulers)} scheduler(s)"
+            )
+        self.trace = trace
+        self.config = config
+        self.spec = trace.spec
+        self.mapper = AtomMapper(self.spec)
+        faults = config.faults
+        home_jobs = [
+            job for job in trace.jobs
+            if topology.home_shard_of_job(job.job_id) == shard_id
+        ]
+        guaranteed_events = len(home_jobs) + 2 * len(faults.node_crashes)
+        # One injector per domain, indexed by GLOBAL node id: executors
+        # pass their cluster-wide node index, and the per-domain seed is
+        # already derived (run_sharded), so peer domains never share a
+        # fault stream.
+        self.injector = (
+            FaultInjector(faults, topology.n_nodes, guaranteed_events=guaranteed_events)
+            if faults.enabled
+            else None
+        )
+        self.sanitizer = None
+        sched_iter = iter(schedulers)
+        self.nodes = [
+            _Node(i, next(sched_iter), self.spec, config, self.injector, None)
+            if i in local_idx
+            else _RemoteNode()
+            for i in range(topology.n_nodes)
+        ]
+        self._node_of = node_of
+        self._replicas_of = replicas_of
+
+        self._heap: List[Event] = []
+        self._seq = 0
+        self.clock = 0.0
+        self.event_index = 0
+        self._last_completion = 0.0
+
+        self._arrival: Dict[int, float] = {}
+        self._remaining: Dict[int, int] = {}
+        self._live_query: Dict[int, Query] = {}
+        self._job_of: Dict[int, Job] = {}
+        self._job_left: Dict[int, int] = {}
+        self._job_first_arrival: Dict[int, float] = {}
+        self._impaired_jobs: Set[int] = set()
+
+        self._response_times: List[float] = []
+        self._job_durations: Dict[int, float] = {}
+        self._completed = 0
+        self._runs: List = []
+        self._run_start = 0.0
+        self._run_responses: List[float] = []
+        self.forced_releases = 0
+
+        self._timeouts = 0
+        self._failovers = 0
+        self._requeues = 0
+        self._data_loss_cancels = 0
+        self._cancelled = 0
+        self._aborted_jobs = 0
+        self._aborted_unarrived = 0
+        self._node_downs = 0
+        self._deferred = 0
+
+        self.overload = None
+        self._admitted = 0
+        self._shed = 0
+        self._class_responses: Dict[str, List[float]] = {}
+        self._tick_armed = False
+
+        self._job_index = {job.job_id: job for job in trace.jobs}
+        for job in home_jobs:
+            self._push(job.submit_time, EventKind.JOB_SUBMIT, job)
+        local_set = frozenset(local_idx)
+        for node_idx, down_t, up_t in faults.node_crashes:
+            if int(node_idx) not in local_set:
+                raise ValueError(
+                    f"shard {shard_id} got a crash schedule for node "
+                    f"{node_idx}, outside its block {local_idx}"
+                )
+            self._push(down_t, EventKind.NODE_DOWN, int(node_idx))
+            self._push(up_t, EventKind.NODE_UP, int(node_idx))
+        # Deferral parks work until the next recovery anywhere in the
+        # CLUSTER — a home shard may be waiting on a remote node.
+        self._recovery_times = sorted(up_t for _, _, up_t in full_node_crashes)
+        self._checkpointer = None
+
+        # ---- shard-specific state ------------------------------------
+        self.shard_id = shard_id
+        self._topology = topology
+        self._local_idx: Tuple[int, ...] = tuple(local_idx)
+        self._local_set = local_set
+        self._full_node_crashes = tuple(
+            (int(n), float(d), float(u)) for n, d, u in full_node_crashes
+        )
+        self._message_delay = float(message_delay)
+        self._lease_epoch = 0
+        self._msg_seq = 0
+        self._outbox: List[ShardMessage] = []
+        self._window_log: List[Tuple[int, Event]] = []
+        # query_id -> home domain, for every live foreign query heard of.
+        self._foreign: Dict[int, int] = {}
+        # (node, atom) loss facts learned from peer shards' fail reports.
+        self._remote_lost: Set[Tuple[int, int]] = set()
+        # Cross-shard conservation counters (home-side unless noted).
+        self._sq_created = 0
+        self._sq_applied = 0
+        self._sq_residual_cancelled = 0
+        self._sq_executed = 0  # executor-side: successful executions here
+        self._sq_exec_dropped = 0  # executed here for an already-dead query
+        self._late_done_dropped = 0  # done-counts arriving after cancel
+        self._msgs_sent = 0
+
+    # ------------------------------------------------------------------
+    # Control-plane surface
+    # ------------------------------------------------------------------
+    def deliver(self, msg: ShardMessage) -> None:
+        """Inject one bus message as a local SHARD_MSG event."""
+        self._push(msg.deliver_time, EventKind.SHARD_MSG, msg)
+
+    def drain_outbox(self) -> List[ShardMessage]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    def drain_window_log(self) -> List[Tuple[int, Event]]:
+        log, self._window_log = self._window_log, []
+        return log
+
+    def force_release_pass(self) -> bool:
+        """Cluster-idle fallback: ask every live local scheduler to
+        force-release gated work (the control plane decides livelock)."""
+        released = False
+        for idx in self._local_idx:
+            node = self.nodes[idx]
+            if node.up:
+                released |= node.scheduler.force_release(self.clock)
+        if released:
+            self.forced_releases += 1
+            self._start_batches()
+        return released
+
+    def on_shard_failover(self, resume_time: float) -> None:
+        """Adopt this domain after its operator crash-stopped.
+
+        Models recovery from the domain's replicated state: queued work
+        survives wholesale, but the crashed coordinator's in-flight
+        dispatch context is lost — every running batch is aborted via a
+        node epoch bump (its BATCH_DONE arrives stale and is dropped)
+        and its sub-queries are re-routed.  Events frozen during the
+        failover window are re-timestamped to the resume instant with
+        their sequence numbers intact, so relative order is preserved
+        and the run stays bit-deterministic.
+        """
+        self._lease_epoch += 1
+        self.clock = max(self.clock, resume_time)
+        evacuated: List[Tuple[float, SubQuery]] = []
+        for idx in self._local_idx:
+            node = self.nodes[idx]
+            if node.inflight is None:
+                continue
+            node.epoch += 1
+            for _, subqueries in node.inflight.atoms:
+                for sq in subqueries:
+                    qid = sq.query.query_id
+                    if qid in self._remaining or qid in self._foreign:
+                        evacuated.append((self._arrival.get(qid, resume_time), sq))
+            node.busy = False
+            node.inflight = None
+        if self._heap and self._heap[0].time < resume_time:
+            self._heap = [
+                Event(max(ev.time, resume_time), ev.kind, ev.seq, ev.payload)
+                for ev in self._heap
+            ]
+            heapq.heapify(self._heap)
+        for arrival, sq in evacuated:
+            self._reroute(sq, arrival, resume_time, from_node=None)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def _send(self, dst_domain: int, kind: str, payload: object, now: float) -> None:
+        # dst_epoch is stamped by the control plane when the message
+        # enters the bus (the ownership table is control-plane state).
+        self._outbox.append(
+            ShardMessage(
+                kind=kind,
+                src_domain=self.shard_id,
+                dst_domain=dst_domain,
+                src_epoch=self._lease_epoch,
+                dst_epoch=-1,
+                send_time=now,
+                deliver_time=now + self._message_delay,
+                seq=self._msg_seq,
+                payload=payload,
+            )
+        )
+        self._msg_seq += 1
+        self._msgs_sent += 1
+
+    def _broadcast(self, kind: str, payload: object, now: float) -> None:
+        for domain in range(self._topology.n_shards):
+            if domain != self.shard_id:
+                self._send(domain, kind, payload, now)
+
+    # ------------------------------------------------------------------
+    # Routing across the block boundary
+    # ------------------------------------------------------------------
+    def _remote_down(self, node_idx: int, now: float) -> bool:
+        """Is a REMOTE node inside a scheduled crash window at ``now``?
+
+        The full crash schedule is static config every shard holds, so
+        no state synchronisation is needed to route around planned
+        downtime — and a sub-query that races a crash boundary anyway
+        is bounced back by the executing shard as a ``fail``.
+        """
+        for n, down_t, up_t in self._full_node_crashes:
+            if n == node_idx and down_t <= now < up_t:
+                return True
+        return False
+
+    def _route(self, atom_id: int) -> Tuple[Optional[int], bool]:
+        candidates = self._replicas_of(atom_id)
+        lost_everywhere = True
+        for idx in candidates:
+            if self.injector is not None and self.injector.is_lost(idx, atom_id):
+                continue
+            if (idx, atom_id) in self._remote_lost:
+                continue
+            lost_everywhere = False
+            if idx in self._local_set:
+                if self.nodes[idx].up:
+                    return idx, False
+            elif not self._remote_down(idx, self.clock):
+                return idx, False
+        return None, lost_everywhere
+
+    def _reroute(self, sq: SubQuery, arrival: float, now: float, from_node: Optional[int]) -> None:
+        qid = sq.query.query_id
+        home = self._foreign.get(qid)
+        if home is not None:
+            # Not our query: report the failure (plus any loss facts we
+            # learned locally) to the home shard, which owns routing.
+            lost_pairs = tuple(
+                (idx, sq.atom_id)
+                for idx in self._local_idx
+                if self.injector is not None and self.injector.is_lost(idx, sq.atom_id)
+            )
+            self._send(home, "fail", (sq, arrival, from_node, lost_pairs), now)
+            return
+        if qid not in self._remaining:
+            return  # query already completed or cancelled
+        target, lost_everywhere = self._route(sq.atom_id)
+        if target is None:
+            if lost_everywhere:
+                self._cancel_query(qid, now, reason="data_loss")
+            else:
+                self._defer(sq, arrival, now)
+            return
+        if from_node is not None and target == from_node:
+            self._requeues += 1
+        else:
+            self._failovers += 1
+        if target in self._local_set:
+            self.nodes[target].scheduler.readmit([(arrival, sq)], now)
+        else:
+            self._send(
+                self._topology.shard_of_node(target), "route", (target, sq, arrival), now
+            )
+
+    # ------------------------------------------------------------------
+    # Event handlers (home side)
+    # ------------------------------------------------------------------
+    def _dispatch(self, ev: Event) -> None:
+        # Window log for the cluster WAL: the control plane assigns
+        # cluster-consistent indices and flushes after each superstep.
+        self._window_log.append((self.event_index, ev))
+        super()._dispatch(ev)
+
+    def _on_job_submit(self, job: Job, now: float) -> None:
+        super()._on_job_submit(job, now)
+        # Remote gating graphs hear the admission one message hop later;
+        # the job notice outruns none of its arrivals (same send instant,
+        # lower sequence number, FIFO per sender-pair).
+        self._broadcast("job", (job,), now)
+
+    def _on_query_arrival(self, query: Query, now: float) -> None:
+        qid = query.query_id
+        self._arrival[qid] = now
+        self._job_first_arrival.setdefault(query.job_id, now)
+        self._live_query[qid] = query
+        self._job_of[qid] = self._job_index[query.job_id]
+        subqueries = preprocess_query(query, self.mapper)
+        self._remaining[qid] = len(subqueries)
+        self._admitted += 1
+        self._sq_created += len(subqueries)
+        by_node: Dict[int, List[SubQuery]] = {}
+        deferred: List[SubQuery] = []
+        lost = False
+        for sq in subqueries:
+            target, lost_everywhere = self._route(sq.atom_id)
+            if target is not None:
+                if target != self._node_of(sq.atom_id):
+                    self._failovers += 1
+                by_node.setdefault(target, []).append(sq)
+            elif lost_everywhere:
+                lost = True
+            else:
+                deferred.append(sq)
+        for idx in self._local_idx:
+            self.nodes[idx].scheduler.on_query_arrival(query, by_node.get(idx, []), now)
+        # Every peer domain hears every arrival (even with no local
+        # sub-queries) so remote gating state stays in lockstep.
+        for domain in range(self._topology.n_shards):
+            if domain == self.shard_id:
+                continue
+            routed = tuple(
+                (idx, tuple(by_node[idx]))
+                for idx in self._topology.nodes_of_shard(domain)
+                if idx in by_node
+            )
+            self._send(domain, "arrival", (query, routed), now)
+        for sq in deferred:
+            self._defer(sq, now, now)
+        if lost:
+            self._cancel_query(qid, now, reason="data_loss")
+            return
+        deadline = self.config.faults.query_deadline
+        if deadline is not None:
+            self._push(now + deadline, EventKind.QUERY_DEADLINE, qid)
+
+    def _apply_done(self, qid: int, count: int, query: Query, now: float) -> None:
+        """Apply ``count`` sub-query completions to the home-side
+        outstanding counter — at most once per sub-query, by contract."""
+        remaining = self._remaining.get(qid)
+        if remaining is None:
+            self._late_done_dropped += count
+            return
+        if count > remaining:
+            raise ShardProtocolError(
+                f"completion over-delivery for query {qid}: {count} done "
+                f"reported with only {remaining} outstanding (a sub-query "
+                "was double-executed across an epoch change)",
+                domain=self.shard_id,
+                epoch=self._lease_epoch,
+                **self._diagnostics(),
+            )
+        self._remaining[qid] = remaining - count
+        self._sq_applied += count
+        if self._remaining[qid] == 0:
+            self._complete_query(query, now)
+
+    def _on_batch_done(self, node_idx: int, epoch: int, batch, failed: list, now: float) -> None:
+        node = self.nodes[node_idx]
+        if epoch != node.epoch:
+            return  # node (or shard) crashed mid-batch; work was re-routed
+        node.busy = False
+        node.inflight = None
+        failed_ids = {id(sq) for sq in failed}
+        done_for_home: Dict[int, Dict[int, Tuple[int, Query]]] = {}
+        for _, subqueries in batch.atoms:
+            for sq in subqueries:
+                if id(sq) in failed_ids:
+                    continue
+                qid = sq.query.query_id
+                self._sq_executed += 1
+                if qid in self._remaining:
+                    self._apply_done(qid, 1, sq.query, now)
+                elif qid in self._foreign:
+                    per_home = done_for_home.setdefault(self._foreign[qid], {})
+                    count, _ = per_home.get(qid, (0, sq.query))
+                    per_home[qid] = (count + 1, sq.query)
+                else:
+                    self._sq_exec_dropped += 1  # cancelled while running
+        for home in sorted(done_for_home):
+            for qid in sorted(done_for_home[home]):
+                count, _query = done_for_home[home][qid]
+                self._send(home, "done", (qid, count), now)
+        for sq in failed:
+            self._reroute(
+                sq, self._arrival.get(sq.query.query_id, now), now, from_node=node_idx
+            )
+
+    def _complete_query(self, query: Query, now: float) -> None:
+        super()._complete_query(query, now)
+        self._broadcast("complete", (query,), now)
+
+    def _cancel_query(self, query_id: int, now: float, reason: str) -> None:
+        query = self._live_query.get(query_id)
+        job = self._job_of.get(query_id)
+        residual = self._remaining.get(query_id, 0)
+        extra: Tuple[int, ...] = ()
+        if query is not None and job is not None and job.is_ordered:
+            extra = tuple(fq.query_id for fq in job.queries[query.seq + 1:])
+        super()._cancel_query(query_id, now, reason)
+        self._sq_residual_cancelled += residual
+        self._broadcast("cancel", (query_id, extra), now)
+
+    # ------------------------------------------------------------------
+    # Event handlers (message delivery)
+    # ------------------------------------------------------------------
+    def _on_shard_msg(self, payload: object, now: float) -> None:
+        msg = payload
+        assert isinstance(msg, ShardMessage)
+        kind = msg.kind
+        if kind == "job":
+            (job,) = msg.payload
+            for idx in self._local_idx:
+                self.nodes[idx].scheduler.on_job_submitted(job, now)
+        elif kind == "arrival":
+            query, routed = msg.payload
+            self._foreign[query.query_id] = msg.src_domain
+            by_node = {idx: list(sqs) for idx, sqs in routed}
+            bounced: List[SubQuery] = []
+            for idx in self._local_idx:
+                node = self.nodes[idx]
+                sqs = by_node.get(idx, [])
+                if sqs and not node.up:
+                    # The home shard routed here around a crash boundary
+                    # it could not observe; bounce the work back.
+                    bounced.extend(sqs)
+                    sqs = []
+                node.scheduler.on_query_arrival(query, sqs, now)
+            for sq in bounced:
+                self._reroute(sq, now, now, from_node=None)
+        elif kind == "done":
+            qid, count = msg.payload
+            query = self._live_query.get(qid)
+            if query is None:
+                self._late_done_dropped += count
+            else:
+                self._apply_done(qid, count, query, now)
+        elif kind == "fail":
+            sq, arrival_hint, from_node, lost_pairs = msg.payload
+            self._remote_lost.update(lost_pairs)
+            qid = sq.query.query_id
+            self._reroute(sq, self._arrival.get(qid, arrival_hint), now, from_node)
+        elif kind == "route":
+            target, sq, arrival = msg.payload
+            qid = sq.query.query_id
+            if qid not in self._foreign:
+                return  # cancelled while the re-admission was in flight
+            node = self.nodes[target]
+            if not node.up:
+                self._reroute(sq, arrival, now, from_node=None)
+            else:
+                node.scheduler.readmit([(arrival, sq)], now)
+        elif kind == "complete":
+            (query,) = msg.payload
+            self._foreign.pop(query.query_id, None)
+            for idx in self._local_idx:
+                self.nodes[idx].scheduler.on_query_complete(query, now)
+        elif kind == "cancel":
+            qid, extra = msg.payload
+            self._foreign.pop(qid, None)
+            for idx in self._local_idx:
+                self.nodes[idx].scheduler.cancel_query(qid, now)
+            for fq in extra:
+                self._foreign.pop(fq, None)
+                for idx in self._local_idx:
+                    self.nodes[idx].scheduler.cancel_query(fq, now)
+        else:  # pragma: no cover - MESSAGE_KINDS is validated at build
+            raise ShardProtocolError(
+                f"undeliverable shard message kind {kind!r}",
+                domain=self.shard_id,
+                epoch=self._lease_epoch,
+                **self._diagnostics(),
+            )
+
+    # ------------------------------------------------------------------
+    # Result fragment
+    # ------------------------------------------------------------------
+    def partial(self) -> dict:
+        """This domain's slice of the cluster result, merged by the
+        control plane into one :class:`~repro.engine.results.RunResult`
+        (mirrors :meth:`Simulator._result`, restricted to real nodes)."""
+        cache: Dict[str, float] = {}
+        disk: Dict[str, float] = {}
+        execs: Dict[str, float] = {}
+        gating_ns = 0
+        sched_forced = 0
+        alpha_histories: List[List[float]] = []
+        for idx in self._local_idx:
+            node = self.nodes[idx]
+            for key, val in node.cache.stats.snapshot().items():
+                if key != "hit_ratio":
+                    cache[key] = cache.get(key, 0) + val
+            for key, val in node.disk.stats.snapshot().items():
+                disk[key] = disk.get(key, 0) + val
+            for key, val in node.executor.stats.snapshot().items():
+                execs[key] = execs.get(key, 0) + val
+            gating_ns += getattr(node.scheduler, "gating_overhead_ns", 0)
+            sched_forced += getattr(node.scheduler, "forced_releases", 0)
+            history = getattr(node.scheduler, "alpha_history", None)
+            if history:
+                alpha_histories.append(list(history))
+        return {
+            "scheduler_name": self.nodes[self._local_idx[0]].scheduler.name,
+            "response_times": list(self._response_times),
+            "job_durations": dict(self._job_durations),
+            "runs": list(self._runs),
+            "alpha_histories": alpha_histories,
+            "cache": cache,
+            "disk": disk,
+            "exec": execs,
+            "forced_releases": self.forced_releases + sched_forced,
+            "gating_overhead_ns": gating_ns,
+            "timeouts": self._timeouts,
+            "retries": self.injector.stats.retries if self.injector is not None else 0,
+            "failovers": self._failovers,
+            "aborted_jobs": self._aborted_jobs,
+            "cancelled": self._cancelled,
+            "completed": self._completed,
+            "last_completion": self._last_completion,
+            "class_responses": {k: list(v) for k, v in self._class_responses.items()},
+            "faults": self.injector.snapshot() if self.injector is not None else {},
+            "node_downs": self._node_downs,
+            "requeues": self._requeues,
+            "deferred": self._deferred,
+            "data_loss_cancels": self._data_loss_cancels,
+            "aborted_unarrived": self._aborted_unarrived,
+            "event_index": self.event_index,
+            "lease_epoch": self._lease_epoch,
+            "conservation": {
+                "created": self._sq_created,
+                "applied": self._sq_applied,
+                "residual_cancelled": self._sq_residual_cancelled,
+                "executed": self._sq_executed,
+                "exec_dropped": self._sq_exec_dropped,
+                "late_done_dropped": self._late_done_dropped,
+                "messages_sent": self._msgs_sent,
+            },
+        }

@@ -1,0 +1,172 @@
+"""Cluster-consistent recovery for sharded runs.
+
+A cluster recovery point is a *consistent cut* written at a barrier of
+the control plane's superstep loop: one CRC-guarded snapshot per shard
+(each taken through that shard's own
+:class:`~repro.recovery.checkpoint.CheckpointManager`, in its
+``shard-<d>/`` subdirectory) plus one ``cluster-*.manifest`` recording
+the control-plane state — ownership table, lease epochs, in-flight bus
+messages, pending crash/failover control events, and the exact event
+index each shard snapshot was taken at.  The manifest is written
+*after* every shard snapshot lands, so a crash mid-barrier leaves the
+previous manifest (and its still-retained shard snapshots) as the
+newest complete cut.
+
+:func:`resume_cluster` rebuilds the N domains from the snapshots the
+manifest names — refusing with :class:`~repro.errors.RecoveryError` if
+any shard's snapshot for the recorded index is missing or disagrees —
+and re-arms each shard's WAL in replay-verify mode, so the resumed run
+re-dispatches events under the same fingerprint check the
+single-coordinator engine uses.  Failovers that happened before the
+barrier are already baked into the restored ownership table and
+domains; failovers scheduled after it are restored as pending control
+events.  Either way the resumed run reproduces the uninterrupted run
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.config import CheckpointConfig
+from repro.errors import RecoveryError
+from repro.parallel.supervisor import SupervisorConfig
+from repro.recovery.checkpoint import (
+    _REQUIRED_STATE_KEYS,
+    _snapshot_name,
+    _wal_name,
+    CheckpointManager,
+    verify_restored_state,
+)
+from repro.recovery.codec import decode_snapshot
+from repro.recovery.wal import read_wal
+from repro.shard.control import _NEVER_EVENTS, MANIFEST_GLOB, ClusterControlPlane
+from repro.shard.coordinator import ShardSimulator
+
+__all__ = ["resume_cluster", "latest_manifest"]
+
+
+def latest_manifest(directory: str | Path) -> Optional[Path]:
+    """The newest cluster manifest under ``directory``, or ``None``.
+
+    Used by the CLI to tell a sharded recovery directory apart from a
+    single-coordinator one (which holds bare ``snapshot-*.ckpt`` files).
+    """
+    manifests = sorted(Path(directory).glob(MANIFEST_GLOB))
+    return manifests[-1] if manifests else None
+
+
+def _load_shard_snapshot(
+    directory: Path, event_index: int
+) -> Tuple[Dict[str, Any], CheckpointManager]:
+    """Load one shard's snapshot at the *exact* index the manifest
+    recorded — never ``load_latest``: a crash between a shard snapshot
+    and the manifest write may leave a newer snapshot on disk that is
+    not part of any consistent cut."""
+    path = directory / _snapshot_name(event_index)
+    if not path.exists():
+        raise RecoveryError(
+            f"inconsistent cluster cut: manifest records event index "
+            f"{event_index} for {directory.name}, but {path.name} is missing"
+        )
+    meta, state = decode_snapshot(path.read_bytes())
+    missing = [key for key in _REQUIRED_STATE_KEYS if key not in state]
+    if missing:
+        raise RecoveryError(
+            f"shard snapshot {path.name} lacks required state keys: {missing}"
+        )
+    if int(meta.get("event_index", -1)) != event_index or (
+        int(state["event_index"]) != event_index
+    ):
+        raise RecoveryError(
+            f"inconsistent cluster cut: {directory.name}/{path.name} claims "
+            f"event index {meta.get('event_index')}/{state['event_index']}, "
+            f"manifest expects {event_index}"
+        )
+    wal_path = directory / _wal_name(event_index)
+    replay = read_wal(wal_path, event_index)
+    manager = CheckpointManager(
+        CheckpointConfig(directory=str(directory), every_events=_NEVER_EVENTS)
+    )
+    manager.directory = directory
+    manager._last_snapshot_event = event_index
+    manager._last_snapshot_clock = float(state["clock"])
+    manager._has_snapshot = True
+    manager._wal_path = wal_path
+    manager._replay = replay
+    manager._replay_pos = 0
+    return state, manager
+
+
+def resume_cluster(
+    directory: str | Path,
+    jobs: int = 1,
+    supervisor: Optional[SupervisorConfig] = None,
+) -> ClusterControlPlane:
+    """Rebuild a sharded run from its newest consistent cut.
+
+    Returns the reconstructed control plane; call
+    :meth:`~repro.shard.control.ClusterControlPlane.run` to resume.
+    The halt-after-barrier trigger (if the interrupted run armed one)
+    is disarmed, mirroring how single-coordinator resume disarms the
+    injected coordinator crash.
+    """
+    root = Path(directory)
+    manifest = latest_manifest(root)
+    if manifest is None:
+        raise RecoveryError(f"no cluster manifest found in {root}")
+    meta, state = decode_snapshot(manifest.read_bytes())
+    n_shards = int(meta.get("n_shards", 0))
+    topology = state["topology"]
+    if n_shards != topology.n_shards or meta.get("topology_digest") != (
+        topology.digest()
+    ):
+        raise RecoveryError(
+            f"cluster manifest {manifest.name} disagrees with its recorded "
+            "topology (shard count or range-assignment digest mismatch)"
+        )
+    cfg = state["shards"].with_(
+        checkpoint_dir=str(root),  # resume where the files actually live
+        halt_after_barrier=None,
+    )
+    indices = state["shard_event_indices"]
+    if len(indices) != n_shards:
+        raise RecoveryError(
+            f"cluster manifest {manifest.name} records {len(indices)} shard "
+            f"snapshot indices for {n_shards} shards"
+        )
+    domains = []
+    managers = []
+    for d in range(n_shards):
+        shard_state, manager = _load_shard_snapshot(root / f"shard-{d}", indices[d])
+        sim = object.__new__(ShardSimulator)
+        sim.__dict__.update(shard_state)
+        sim._checkpointer = None
+        verify_restored_state(sim)
+        domains.append(sim)
+        managers.append(manager)
+    restored = {
+        "ownership": state["ownership"],
+        "bus": state["bus"],
+        "ctrl": state["ctrl"],
+        "frozen": state["frozen"],
+        "dead": state["dead"],
+        "stale_retries": state["stale_retries"],
+        "epoch_bumps": state["epoch_bumps"],
+        "shard_crashes": state["shard_crashes"],
+        "messages_delivered": state["messages_delivered"],
+        "ctrl_seq": state["ctrl_seq"],
+        "barrier_count": state["barrier_count"],
+        "next_barrier": state["next_barrier"],
+    }
+    return ClusterControlPlane(
+        domains=domains,
+        topology=topology,
+        shards=cfg,
+        partitioner=state["partitioner"],
+        jobs=jobs,
+        supervisor=supervisor,
+        _restored=restored,
+        _managers=managers,
+    )

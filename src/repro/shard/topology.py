@@ -1,0 +1,106 @@
+"""Shard topology and the lease-based ownership table.
+
+A *shard* is one coordinator instance owning a contiguous block of
+cluster nodes — and therefore, through the Morton-contiguous
+node-to-atom map of :class:`~repro.cluster.partition.MortonRangePartitioner`,
+a contiguous Morton range of the dataset.  :class:`ShardTopology` is
+the static part (which nodes belong to which shard, which shard is a
+job's *home*); :class:`OwnershipTable` is the dynamic part — which
+shard currently operates each *domain* (a shard's original node block
+plus its coordinator state) and under which lease epoch.
+
+Epoch/lease semantics (DESIGN.md §14): every domain carries a
+monotonically increasing epoch, bumped exactly once per failover.
+Cross-shard messages are stamped with the destination domain's epoch at
+send time and validated against the table at delivery; a stale stamp is
+never applied silently — the message is re-addressed to the new owner
+with a typed retry delay in virtual time.  Shards crash-stop, so a
+deposed owner can never issue new work; the epoch check is what makes
+in-flight work from before the crash safe to re-resolve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import PartitionError
+
+__all__ = ["ShardTopology", "OwnershipTable"]
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """Static shard layout: ``n_nodes`` cluster nodes split into
+    ``n_shards`` contiguous blocks (same floor-division split the
+    Morton partitioner uses for atoms, so every shard owns a contiguous
+    Morton range and block boundaries never split a node)."""
+
+    n_nodes: int
+    n_shards: int
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise PartitionError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.n_nodes < 1:
+            raise PartitionError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.n_shards > self.n_nodes:
+            raise PartitionError(
+                f"cannot split {self.n_nodes} node(s) into {self.n_shards} "
+                "shards: every shard needs at least one node"
+            )
+
+    def nodes_of_shard(self, shard: int) -> range:
+        """Contiguous node block owned by ``shard`` (never empty)."""
+        lo = shard * self.n_nodes // self.n_shards
+        hi = (shard + 1) * self.n_nodes // self.n_shards
+        return range(lo, hi)
+
+    def shard_of_node(self, node_idx: int) -> int:
+        """Inverse of :meth:`nodes_of_shard` (closed-form, no search)."""
+        return ((node_idx + 1) * self.n_shards - 1) // self.n_nodes
+
+    def home_shard_of_job(self, job_id: int) -> int:
+        """The shard that owns a job's lifecycle: submission, arrivals,
+        outstanding-count bookkeeping, deadlines and completions."""
+        return job_id % self.n_shards
+
+    def digest(self) -> str:
+        """Short stable digest of the full range assignment — the
+        topology component of :meth:`~repro.parallel.pool.RunSpec.digest`
+        and the trace-cache key, so sharded and unsharded runs can
+        never alias each other's cached artifacts."""
+        ranges = tuple(
+            (self.nodes_of_shard(s).start, self.nodes_of_shard(s).stop)
+            for s in range(self.n_shards)
+        )
+        body = repr((self.n_nodes, self.n_shards, ranges)).encode("utf-8")
+        return hashlib.sha256(body).hexdigest()[:12]
+
+
+@dataclass
+class OwnershipTable:
+    """Dynamic domain ownership: ``operator[d]`` is the shard currently
+    running domain ``d``; ``epoch[d]`` is its lease epoch.  Plain
+    picklable state — snapshotted verbatim into the cluster manifest."""
+
+    operator: List[int] = field(default_factory=list)
+    epoch: List[int] = field(default_factory=list)
+
+    @classmethod
+    def identity(cls, n_shards: int) -> "OwnershipTable":
+        return cls(operator=list(range(n_shards)), epoch=[0] * n_shards)
+
+    def transfer(self, domain: int, new_operator: int) -> int:
+        """Fail domain ``domain`` over to ``new_operator``; returns the
+        bumped epoch.  Exactly one bump per failover: every lease ever
+        granted is uniquely named by ``(domain, epoch)``."""
+        self.epoch[domain] += 1
+        self.operator[domain] = new_operator
+        return self.epoch[domain]
+
+    def domains_of(self, shard: int) -> Tuple[int, ...]:
+        """Domains currently operated by ``shard`` (its own, plus any
+        adopted through failover)."""
+        return tuple(d for d, op in enumerate(self.operator) if op == shard)

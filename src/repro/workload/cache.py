@@ -63,12 +63,17 @@ def trace_cache_dir() -> Optional[Path]:
 
 
 def trace_cache_key(
-    spec: DatasetSpec, params: WorkloadParams, speedup: float
+    spec: DatasetSpec, params: WorkloadParams, speedup: float, topology: str = ""
 ) -> str:
     """Content hash of everything trace generation depends on.
 
     Floats are keyed by ``repr`` so two inputs hash equal exactly when
-    they would generate bit-identical traces.
+    they would generate bit-identical traces.  ``topology`` is the
+    optional shard-topology digest
+    (:meth:`~repro.shard.topology.ShardTopology.digest`): callers that
+    pre-bake topology-dependent artifacts alongside the trace pass it
+    so entries for different coordinator layouts never alias (an empty
+    string — the default — keys exactly as before).
     """
     payload = {
         "format": _FORMAT_VERSION,
@@ -76,6 +81,8 @@ def trace_cache_key(
         "params": {k: repr(v) for k, v in sorted(asdict(params).items())},
         "speedup": repr(float(speedup)),
     }
+    if topology:
+        payload["topology"] = str(topology)
     digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode())
     return digest.hexdigest()[:32]
 
@@ -109,19 +116,21 @@ def cached_generate_trace(
     params: WorkloadParams,
     speedup: float = 1.0,
     cache_dir: Optional[Path] = None,
+    topology: str = "",
 ) -> Trace:
     """``generate_trace`` + ``rescale`` with on-disk memoization.
 
     ``cache_dir=None`` resolves the directory from the environment
     (see module docstring); caching disabled falls straight through to
-    generation.
+    generation.  ``topology`` feeds :func:`trace_cache_key` so sharded
+    campaigns keep their own cache entries.
     """
     directory = cache_dir if cache_dir is not None else trace_cache_dir()
     if directory is None:
         trace = generate_trace(spec, params)
         return trace.rescale(speedup) if speedup != 1.0 else trace
 
-    key = trace_cache_key(spec, params, speedup)
+    key = trace_cache_key(spec, params, speedup, topology=topology)
     path = directory / f"trace-v{_FORMAT_VERSION}-{key}.npz"
     if path.exists():
         cached = _load_if_valid(path, spec)
