@@ -1,0 +1,36 @@
+"""The vectorized fast engine (DESIGN.md §15).
+
+A second execution engine for the same traces, schedulers and
+configurations as the exact simulator, built struct-of-arrays:
+columnar workload queues with packed metric columns
+(:class:`~repro.fastengine.columnar.ColumnarQueues`), reduced bit-exact
+metric evaluation for the LifeRaft hot loop
+(:mod:`repro.fastengine.schedulers`), timer-free storage components
+(:mod:`repro.fastengine.storage`), and an inline quiet-stretch event
+loop (:class:`~repro.fastengine.engine.FastSimulator`).
+
+The exact engine remains the oracle: every configuration the fast
+engine accepts must produce a bit-identical
+:class:`~repro.engine.results.RunResult` (modulo wall-clock
+instrumentation), enforced by :mod:`repro.fastengine.crossval` in CI.
+"""
+
+from repro.fastengine.columnar import ColumnarQueues
+from repro.fastengine.engine import FastSimulator, validate_fast_supported
+from repro.fastengine.schedulers import (
+    FastJAWSScheduler,
+    FastLifeRaftScheduler,
+    make_fast_scheduler,
+)
+from repro.fastengine.storage import FastBufferCache, FastDiskModel
+
+__all__ = [
+    "ColumnarQueues",
+    "FastBufferCache",
+    "FastDiskModel",
+    "FastJAWSScheduler",
+    "FastLifeRaftScheduler",
+    "FastSimulator",
+    "make_fast_scheduler",
+    "validate_fast_supported",
+]

@@ -1,0 +1,298 @@
+"""Struct-of-arrays workload queues for the fast engine.
+
+:class:`ColumnarQueues` extends :class:`~repro.core.queues.WorkloadQueues`
+with a *packed dense mirror* of the active slots: parallel numpy
+columns (atom id, position count, oldest arrival, cached flag, and the
+workload-throughput metric ``u_t``) kept contiguous at positions
+``0..n-1`` by swap-remove, plus a monotonically increasing activation
+sequence number per position.
+
+Two properties make the mirror pay for itself:
+
+* **free slices** — a scheduling decision reads ``column[:n]`` views
+  with zero gather cost, where the base class rebuilds its active view
+  with ``np.fromiter`` over the slot map plus four fancy-index gathers
+  on every queue mutation;
+* **incremental u_t** — the Eq. 1 workload-throughput metric is
+  updated per mutated slot with scalar IEEE-754 arithmetic that is
+  bit-identical to the vectorized
+  :func:`~repro.core.metrics.workload_throughput` elementwise result,
+  so the per-decision metric evaluation reduces to a handful of array
+  ops over prebuilt columns.
+
+The packed order is *not* the base class's dict-insertion order
+(swap-remove permutes it); :meth:`ColumnarQueues.active_view` restores
+the exact insertion order with a stable argsort over the activation
+sequence numbers, so order-sensitive consumers (two-level float sums,
+URC utility means, evacuation order) observe byte-identical arrays.
+
+The base parallel structures stay fully maintained — every inherited
+read path (``positions_pending``, ``pop_atom_entries``, the base
+consistency audit) keeps working — and :meth:`check_consistency`
+additionally audits the mirror against them, vectorized so the audit
+itself honors the D400 no-per-element-loops rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CostModel
+from repro.core.metrics import workload_throughput
+from repro.core.queues import WorkloadQueues
+from repro.workload.query import SubQuery
+
+__all__ = ["ColumnarQueues"]
+
+
+class ColumnarQueues(WorkloadQueues):
+    """Workload queues with a packed columnar mirror of the hot state.
+
+    Parameters
+    ----------
+    atoms_per_timestep / capacity_hint:
+        As for :class:`~repro.core.queues.WorkloadQueues`.
+    cost:
+        Cost constants of the workload-throughput metric; needed to
+        maintain the ``u_t`` column incrementally.
+    """
+
+    def __init__(
+        self, atoms_per_timestep: int, capacity_hint: int = 0, *, cost: CostModel
+    ) -> None:
+        super().__init__(atoms_per_timestep, capacity_hint)
+        self._cost = cost
+        self._t_b = cost.t_b
+        self._t_m = cost.t_m
+        cap = len(self._atom_ids)
+        # slot -> packed position (-1 while the slot is free) and its
+        # inverse; Python lists because single-element reads/writes are
+        # several times cheaper than numpy scalar indexing.
+        self._d_pos: list[int] = [-1] * cap
+        self._d_slots: list[int] = [0] * cap
+        # Packed metric columns, parallel across positions 0..n-1.
+        self._d_ids = np.zeros(cap, dtype=np.int64)
+        self._d_counts = np.zeros(cap, dtype=np.int64)
+        self._d_oldest = np.zeros(cap, dtype=np.float64)
+        self._d_cached = np.zeros(cap, dtype=bool)
+        self._d_ut = np.zeros(cap, dtype=np.float64)
+        # Activation sequence per position: a fresh number on every
+        # slot activation reproduces the base class's dict semantics
+        # (re-activated atoms re-enter at the end of the active order).
+        self._d_seq = np.zeros(cap, dtype=np.int64)
+        self._d_n = 0
+        self._seq_counter = 0
+
+    # ------------------------------------------------------------------
+    # Mirror maintenance
+    # ------------------------------------------------------------------
+    def _ut_scalar(self, count: int, cached: bool) -> float:
+        """Scalar Eq. 1 workload throughput, bit-identical to the
+        elementwise :func:`~repro.core.metrics.workload_throughput`
+        (same IEEE-754 operations in the same order)."""
+        w = float(count)
+        denom = self._t_b * (0.0 if cached else 1.0) + self._t_m * w
+        return w / denom if denom > 0.0 else 0.0
+
+    def _grow(self) -> None:
+        old = len(self._atom_ids)
+        super()._grow()
+        extra = len(self._atom_ids) - old
+        self._d_pos.extend([-1] * extra)
+        self._d_slots.extend([0] * extra)
+        zero_i = np.zeros(extra, dtype=np.int64)
+        self._d_ids = np.concatenate([self._d_ids, zero_i])
+        self._d_counts = np.concatenate([self._d_counts, zero_i])
+        self._d_oldest = np.concatenate([self._d_oldest, np.zeros(extra)])
+        self._d_cached = np.concatenate([self._d_cached, np.zeros(extra, dtype=bool)])
+        self._d_ut = np.concatenate([self._d_ut, np.zeros(extra)])
+        self._d_seq = np.concatenate([self._d_seq, zero_i])
+
+    def _release_mirror(self, slot: int) -> None:
+        """Swap-remove ``slot``'s packed row, keeping columns dense."""
+        p = self._d_pos[slot]
+        last = self._d_n - 1
+        if p != last:
+            moved = self._d_slots[last]
+            self._d_slots[p] = moved
+            self._d_pos[moved] = p
+            self._d_ids[p] = self._d_ids[last]
+            self._d_counts[p] = self._d_counts[last]
+            self._d_oldest[p] = self._d_oldest[last]
+            self._d_cached[p] = self._d_cached[last]
+            self._d_ut[p] = self._d_ut[last]
+            self._d_seq[p] = self._d_seq[last]
+        self._d_pos[slot] = -1
+        self._d_n = last
+
+    # ------------------------------------------------------------------
+    # Mutation overrides (base structures stay authoritative)
+    # ------------------------------------------------------------------
+    def add(self, subquery: SubQuery, now: float) -> None:
+        atom_id = subquery.atom_id
+        slot = self._slot_of.get(atom_id)
+        if slot is None:
+            # Inlined base _slot_for + mirror activation.
+            if not self._free:
+                self._grow()
+            slot = self._free.pop()
+            self._slot_of[atom_id] = slot
+            cached = atom_id in self._cached_atoms
+            self._atom_ids[slot] = atom_id
+            self._oldest[slot] = now
+            self._cached[slot] = cached
+            subs: list[SubQuery] = []
+            arrivals: list[float] = []
+            self._subqueries[slot] = subs
+            self._arrivals[slot] = arrivals
+            p = self._d_n
+            self._d_n = p + 1
+            self._d_pos[slot] = p
+            self._d_slots[p] = slot
+            self._d_ids[p] = atom_id
+            self._d_cached[p] = cached
+            self._d_seq[p] = self._seq_counter
+            self._seq_counter += 1
+            count = subquery.n_positions
+            oldest = now
+        else:
+            subs = self._subqueries[slot]
+            arrivals = self._arrivals[slot]
+            cached = bool(self._cached[slot])
+            p = self._d_pos[slot]
+            oldest = float(self._oldest[slot])
+            if now < oldest:
+                oldest = now
+                self._oldest[slot] = now
+            count = int(self._counts[slot]) + subquery.n_positions
+        self._counts[slot] = count
+        self._d_counts[p] = count
+        self._d_oldest[p] = oldest
+        self._d_ut[p] = self._ut_scalar(count, cached)
+        subs.append(subquery)
+        arrivals.append(now)
+        self._index_query(subquery.query.query_id, atom_id)
+        self.total_positions += subquery.n_positions
+        self._version += 1
+
+    def pop_atom(self, atom_id: int) -> list[SubQuery]:
+        slot = self._slot_of[atom_id]
+        subs = super().pop_atom(atom_id)
+        self._release_mirror(slot)
+        return subs
+
+    def _free_slot(self, atom_id: int, slot: int) -> None:
+        super()._free_slot(atom_id, slot)
+        self._release_mirror(slot)
+
+    def remove_query(self, query_id: int) -> int:
+        atoms = self._by_query.get(query_id)
+        touched = [] if not atoms else [(a, self._slot_of[a]) for a in atoms]
+        removed = super().remove_query(query_id)
+        for atom_id, slot in touched:
+            p = self._d_pos[slot]
+            if p < 0:
+                continue  # emptied: _free_slot already released the row
+            count = int(self._counts[slot])
+            self._d_counts[p] = count
+            self._d_oldest[p] = self._oldest[slot]
+            self._d_ut[p] = self._ut_scalar(count, bool(self._cached[slot]))
+        return removed
+
+    def on_cache_insert(self, atom_id: int) -> None:
+        self._cached_atoms.add(atom_id)
+        slot = self._slot_of.get(atom_id)
+        if slot is not None:
+            self._cached[slot] = True
+            p = self._d_pos[slot]
+            self._d_cached[p] = True
+            self._d_ut[p] = self._ut_scalar(int(self._counts[slot]), True)
+            self._version += 1
+
+    def on_cache_evict(self, atom_id: int) -> None:
+        self._cached_atoms.discard(atom_id)
+        slot = self._slot_of.get(atom_id)
+        if slot is not None:
+            self._cached[slot] = False
+            p = self._d_pos[slot]
+            self._d_cached[p] = False
+            self._d_ut[p] = self._ut_scalar(int(self._counts[slot]), False)
+            self._version += 1
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def dense_arrays(self) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """``(n, atom_ids, u_t, oldest_arrival)`` packed columns.
+
+        The arrays are the *live* backing columns (only ``[:n]`` is
+        meaningful) in packed order, which is NOT the active-view
+        insertion order.  Callers must treat them as read-only and use
+        only order-independent reductions (min/max/ties), or restore
+        order through :meth:`active_view`.
+        """
+        return self._d_n, self._d_ids, self._d_ut, self._d_oldest
+
+    def active_view(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._view is not None and self._view_version == self._version:
+            return self._view
+        n = self._d_n
+        if n == 0:
+            view = (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0),
+                np.empty(0, dtype=bool),
+            )
+        else:
+            # Stable ascending activation order == the base class's
+            # dict-insertion order (sequence numbers are unique).
+            order = np.argsort(self._d_seq[:n], kind="stable")
+            view = (
+                self._d_ids[:n][order],
+                self._d_counts[:n][order],
+                self._d_oldest[:n][order],
+                self._d_cached[:n][order],
+            )
+        for arr in view:
+            arr.flags.writeable = False
+        self._view = view
+        self._view_version = self._version
+        return view
+
+    # ------------------------------------------------------------------
+    # Sanitizer checkpoint
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> list[str]:
+        """Base audit plus a vectorized mirror-coherence audit."""
+        problems = super().check_consistency()
+        n = self._d_n
+        if n != len(self._slot_of):
+            problems.append(
+                f"mirror holds {n} packed rows for {len(self._slot_of)} active slots"
+            )
+            return problems
+        pos = np.asarray(self._d_pos, dtype=np.int64)
+        if int((pos >= 0).sum()) != n:
+            problems.append("mirror position map marks a freed slot as packed")
+        if n == 0:
+            return problems
+        slots = np.asarray(self._d_slots[:n], dtype=np.int64)
+        if not np.array_equal(pos[slots], np.arange(n, dtype=np.int64)):
+            problems.append("mirror slot/position maps are not inverse")
+        if not np.array_equal(self._d_ids[:n], self._atom_ids[slots]):
+            problems.append("mirror atom-id column diverges from slot labels")
+        if not np.array_equal(self._d_counts[:n], self._counts[slots]):
+            problems.append("mirror count column diverges from slot counts")
+        if not np.array_equal(self._d_oldest[:n], self._oldest[slots]):
+            problems.append("mirror oldest column diverges from slot ages")
+        if not np.array_equal(self._d_cached[:n], self._cached[slots]):
+            problems.append("mirror cached column diverges from slot phi flags")
+        expected_ut = workload_throughput(
+            self._d_counts[:n], self._d_cached[:n], self._cost
+        )
+        if not np.array_equal(self._d_ut[:n], expected_ut):
+            problems.append("mirror u_t column diverges from Eq. 1 recomputation")
+        if len(np.unique(self._d_seq[:n])) != n:
+            problems.append("mirror activation sequence numbers are not unique")
+        return problems

@@ -1,0 +1,227 @@
+"""Exact-vs-fast cross-validation: the fast engine's equivalence gate.
+
+The exact simulator is the bit-identity oracle.  For a given (trace,
+scheduler, engine, faults) configuration this harness runs both
+engines, then checks three things:
+
+1. **Result identity** — the two :class:`~repro.engine.results.
+   RunResult` summaries are equal field-by-field after
+   :func:`~repro.fuzz.oracles.normalize_result` (which strips only
+   wall-clock instrumentation, exactly the quantity the fast engine
+   stops measuring).
+2. **Completion-time bit identity** — per-query response times compare
+   equal as ``float.hex`` strings, so even sign-of-zero differences
+   (invisible to ``==``) fail the gate.
+3. **Decision-sequence identity** — every non-empty scheduling
+   decision (node index, decision clock as ``float.hex``, drained atom
+   ids with their sub-query counts, in order) feeds a SHA-256 digest
+   on both engines; the digests must match.  Empty/None decisions are
+   excluded: they carry no schedulable work and their count is an
+   artifact of idle-loop shape, not of scheduling behaviour.
+
+``python -m repro.fastengine.crossval`` runs the full scheduler ×
+faults matrix on a deterministic trace and exits non-zero on the first
+divergence — this is the ``fastengine-crossval`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import sys
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import EngineConfig, FaultConfig, SchedulerConfig
+from repro.core.base import Batch, Scheduler
+from repro.engine.results import RunResult
+from repro.engine.runner import SCHEDULER_NAMES, make_scheduler
+from repro.engine.simulator import Simulator
+from repro.fastengine.engine import FastSimulator
+from repro.fastengine.schedulers import make_fast_scheduler
+from repro.fuzz.oracles import results_equivalent
+from repro.workload.trace import Trace
+
+__all__ = ["CrossValOutcome", "crossval_pair", "crossval_matrix", "main"]
+
+
+@dataclass(frozen=True)
+class CrossValOutcome:
+    """One configuration's verdict."""
+
+    scheduler: str
+    faults: bool
+    match: bool
+    divergence: Optional[str]
+    exact_digest: str
+    fast_digest: str
+    n_queries: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheduler}/{'faults' if self.faults else 'clean'}"
+
+
+def _instrument_decisions(sim: Simulator) -> "hashlib._Hash":
+    """Wrap every node scheduler's ``next_batch`` to hash the decision
+    sequence; returns the (live) digest object."""
+    digest = hashlib.sha256()
+    for idx, node in enumerate(sim.nodes):
+        scheduler = node.scheduler
+        inner = scheduler.next_batch
+
+        def wrapper(
+            now: float,
+            _inner: Callable[[float], Optional[Batch]] = inner,
+            _idx: int = idx,
+        ) -> Optional[Batch]:
+            batch = _inner(now)
+            if batch is not None and batch.n_atoms != 0:
+                atoms = ",".join(f"{a}:{len(subs)}" for a, subs in batch.atoms)
+                digest.update(f"{_idx}|{now.hex()}|{atoms}\n".encode())
+            return batch
+
+        setattr(scheduler, "next_batch", wrapper)
+    return digest
+
+
+def _run_instrumented(
+    sim: Simulator,
+) -> tuple[RunResult, str]:
+    digest = _instrument_decisions(sim)
+    result = sim.run()
+    return result, digest.hexdigest()
+
+
+def crossval_pair(
+    trace: Trace,
+    scheduler: str,
+    engine: Optional[EngineConfig] = None,
+    config: Optional[SchedulerConfig] = None,
+    faults: Optional[FaultConfig] = None,
+) -> CrossValOutcome:
+    """Run ``scheduler`` over ``trace`` on both engines and compare."""
+    engine = engine or EngineConfig()
+    if faults is not None:
+        engine = engine.with_(faults=faults)
+
+    exact_sched: Scheduler = make_scheduler(scheduler, trace, engine, config)
+    exact_result, exact_digest = _run_instrumented(
+        Simulator(trace, [exact_sched], engine)
+    )
+    fast_sched: Scheduler = make_fast_scheduler(scheduler, trace, engine, config)
+    fast_result, fast_digest = _run_instrumented(
+        FastSimulator(trace, [fast_sched], engine)
+    )
+
+    divergence = results_equivalent(exact_result, fast_result)
+    if divergence is None:
+        exact_hex = [float(t).hex() for t in exact_result.response_times]
+        fast_hex = [float(t).hex() for t in fast_result.response_times]
+        if exact_hex != fast_hex:
+            first = next(
+                i for i, (a, b) in enumerate(zip(exact_hex, fast_hex)) if a != b
+            )
+            divergence = (
+                f"response_times[{first}] differs in float.hex: "
+                f"{exact_hex[first]} != {fast_hex[first]}"
+            )
+    if divergence is None and exact_digest != fast_digest:
+        divergence = (
+            f"scheduler decision digests differ: {exact_digest[:16]} != "
+            f"{fast_digest[:16]}"
+        )
+    return CrossValOutcome(
+        scheduler=scheduler,
+        faults=engine.faults.enabled,
+        match=divergence is None,
+        divergence=divergence,
+        exact_digest=exact_digest,
+        fast_digest=fast_digest,
+        n_queries=exact_result.n_queries,
+    )
+
+
+def crossval_faults(seed: int = 3) -> FaultConfig:
+    """The standard fault mix of the cross-validation matrix: transient
+    errors, permanent losses (cancellations on one node), slow reads."""
+    return FaultConfig(
+        seed=seed,
+        transient_fault_rate=0.05,
+        permanent_loss_rate=0.002,
+        slow_read_rate=0.1,
+        slow_read_factor=4.0,
+    )
+
+
+def crossval_matrix(
+    trace: Trace,
+    engine: Optional[EngineConfig] = None,
+    schedulers: tuple[str, ...] = SCHEDULER_NAMES,
+    fault_seed: int = 3,
+) -> list[CrossValOutcome]:
+    """The full scheduler × {clean, faults} matrix."""
+    outcomes: list[CrossValOutcome] = []
+    for name in schedulers:
+        outcomes.append(crossval_pair(trace, name, engine))
+        outcomes.append(
+            crossval_pair(trace, name, engine, faults=crossval_faults(fault_seed))
+        )
+    return outcomes
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    from repro.experiments.common import (
+        ExperimentScale,
+        standard_engine,
+        standard_params,
+        standard_spec,
+    )
+    from repro.workload.cache import cached_generate_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro-fastengine-crossval",
+        description="Cross-validate the fast engine against the exact oracle.",
+    )
+    parser.add_argument("--jobs", type=int, default=30, help="workload jobs")
+    parser.add_argument("--span", type=float, default=550.0, help="workload span (s)")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument("--fault-seed", type=int, default=3, help="fault RNG seed")
+    parser.add_argument(
+        "--scheduler",
+        action="append",
+        choices=SCHEDULER_NAMES,
+        help="restrict to specific scheduler(s); default all five",
+    )
+    args = parser.parse_args(argv)
+
+    params = dataclasses.replace(
+        standard_params(ExperimentScale.SMALL, seed=args.seed),
+        n_jobs=args.jobs,
+        span=args.span,
+    )
+    trace = cached_generate_trace(standard_spec(), params, speedup=8.0)
+    engine = standard_engine()
+    schedulers = tuple(args.scheduler) if args.scheduler else SCHEDULER_NAMES
+
+    outcomes = crossval_matrix(
+        trace, engine, schedulers=schedulers, fault_seed=args.fault_seed
+    )
+    failures = 0
+    for out in outcomes:
+        status = "OK  " if out.match else "FAIL"
+        print(
+            f"{status} {out.label:<18} queries={out.n_queries:<5} "
+            f"digest={out.fast_digest[:16]}"
+        )
+        if not out.match:
+            failures += 1
+            print(f"     divergence: {out.divergence}")
+    total = len(outcomes)
+    print(f"{total - failures}/{total} configurations bit-identical")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""The fast simulator: vectorized node components + batched event loop.
+
+:class:`FastSimulator` is :class:`~repro.engine.simulator.Simulator`
+with two substitutions:
+
+1. **Fast node components** via the ``_node_cls`` dispatch seam:
+   :class:`~repro.fastengine.storage.FastBufferCache` (no wall-clock
+   overhead profiling) and :class:`~repro.fastengine.storage.
+   FastDiskModel` (identity block mapping, no per-read B+-tree
+   descent).  These are active in *every* fast run, including ones
+   that fall back to the exact event loop.
+
+2. **An inline quiet-stretch event loop** (the batching horizon of
+   DESIGN.md §15): on the single-node, no-overload, no-checkpoint,
+   no-armed-coordinator-crash configuration, a ``BATCH_DONE`` whose
+   completion time precedes every heaped event is *inlined* — the
+   sanitizer schedule hook, clock advance, ``max_sim_time`` guard,
+   completion handling, sanitizer sweep and ``event_index`` increment
+   run directly, skipping the heap push/pop and the per-event
+   ``_dispatch`` preamble (the coordinator-crash probe, pure when
+   unarmed, and the checkpoint WAL hook, absent when disabled).  The
+   moment any heaped event is due at or before the batch completion —
+   an arrival, a node crash, a reroute — the loop degrades to the
+   exact push/pop sequence for that step, so cross-event ordering is
+   governed by the same ``(time, kind, seq)`` heap invariants in both
+   engines.  The event sequence counter is still advanced for inlined
+   events, keeping heap tie-breaker numbering aligned with the exact
+   engine.
+
+Unsupported configurations (:func:`validate_fast_supported`) raise
+:class:`~repro.errors.ConfigurationError` at construction; supported
+but non-quiet configurations (overload protection, an armed
+coordinator crash) transparently run the inherited exact loop on fast
+components.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional, Sequence
+
+from repro.config import EngineConfig
+from repro.core.base import Scheduler
+from repro.engine.events import EventKind
+from repro.engine.results import RunResult
+from repro.engine.simulator import Simulator, _Node
+from repro.errors import ConfigurationError, LivelockError, SimTimeExceededError
+from repro.fastengine.executor import FastBatchExecutor
+from repro.fastengine.storage import FastBufferCache, FastDiskModel
+from repro.workload.trace import Trace
+
+__all__ = ["FastSimulator", "validate_fast_supported"]
+
+
+def validate_fast_supported(
+    config: Optional[EngineConfig],
+    *,
+    n_nodes: int = 1,
+    shards: object = None,
+) -> None:
+    """Reject configurations the fast engine does not execute.
+
+    Raises :class:`ConfigurationError` for sharded execution, clusters,
+    and checkpointing; everything else (faults, overload, sanitizer)
+    is supported bit-identically.
+    """
+    if shards is not None:
+        raise ConfigurationError(
+            "engine='fast' does not support sharded execution; "
+            "drop the shard topology or use engine='exact'"
+        )
+    if n_nodes != 1:
+        raise ConfigurationError(
+            f"engine='fast' supports single-node runs only, got {n_nodes} nodes; "
+            "use engine='exact' for cluster simulations"
+        )
+    if config is not None and config.checkpoint.enabled:
+        raise ConfigurationError(
+            "engine='fast' does not support crash-consistent checkpointing; "
+            "disable checkpointing or use engine='exact'"
+        )
+
+
+class _FastNode(_Node):
+    """Node with the timer-free cache and identity-mapped disk."""
+
+    cache_cls = FastBufferCache
+    disk_cls = FastDiskModel
+    executor_cls = FastBatchExecutor
+
+
+class FastSimulator(Simulator):
+    """Bit-identical twin of :class:`Simulator` on columnar components."""
+
+    _node_cls = _FastNode
+
+    def __init__(
+        self,
+        trace: Trace,
+        schedulers: Sequence[Scheduler],
+        config: Optional[EngineConfig] = None,
+        node_of: Optional[Callable[[int], int]] = None,
+        replicas_of: Optional[Callable[[int], Sequence[int]]] = None,
+    ) -> None:
+        validate_fast_supported(config, n_nodes=len(schedulers) if schedulers else 1)
+        super().__init__(trace, schedulers, config, node_of, replicas_of)
+
+    def run(self) -> RunResult:
+        if (
+            len(self.nodes) != 1
+            or self.overload is not None
+            or self._checkpointer is not None
+            or (self.injector is not None and self.injector.crash_at is not None)
+        ):
+            # Non-quiet configuration: the exact loop is correct (and
+            # bit-identical) on top of the fast node components.
+            return super().run()
+
+        heap = self._heap
+        node = self.nodes[0]
+        scheduler = node.scheduler
+        executor = node.executor
+        sanitizer = self.sanitizer
+        max_sim_time = self.config.max_sim_time
+        dispatch = self._dispatch
+        on_batch_done = self._on_batch_done
+        heappop = heapq.heappop
+
+        while True:
+            # Drain every event at the current instant before making
+            # scheduling decisions, so same-time arrivals can batch.
+            while heap and heap[0].time <= self.clock:
+                dispatch(heappop(heap))
+            if not node.busy and node.up:
+                batch = scheduler.next_batch(self.clock)
+                if batch is not None and batch.n_atoms != 0:
+                    outcome = executor.execute(batch, self.clock)
+                    node.busy = True
+                    node.inflight = batch
+                    t_done = self.clock + outcome.duration
+                    if heap and heap[0].time <= t_done:
+                        # Another event is due first (or BATCH_DONE
+                        # would tie with it): go through the heap so
+                        # the (time, kind, seq) order decides.
+                        self._push(
+                            t_done,
+                            EventKind.BATCH_DONE,
+                            (0, node.epoch, batch, outcome.failed),
+                        )
+                    else:
+                        # Quiet stretch: the completion is strictly
+                        # next.  Inline push + pop + dispatch.
+                        if sanitizer is not None:
+                            sanitizer.on_schedule(t_done, EventKind.BATCH_DONE)
+                        self._seq += 1
+                        self.clock = t_done
+                        if t_done > max_sim_time:
+                            raise SimTimeExceededError(
+                                "virtual clock exceeded "
+                                f"max_sim_time={self.config.max_sim_time}",
+                                **self._diagnostics(),
+                            )
+                        on_batch_done(0, node.epoch, batch, outcome.failed, now=t_done)
+                        if sanitizer is not None:
+                            sanitizer.after_event()
+                        self.event_index += 1
+                        continue
+            if heap:
+                ev = heappop(heap)
+                self.clock = ev.time
+                if self.clock > max_sim_time:
+                    raise SimTimeExceededError(
+                        f"virtual clock exceeded max_sim_time={self.config.max_sim_time}",
+                        **self._diagnostics(),
+                    )
+                dispatch(ev)
+                continue
+            if self._any_pending():
+                released = False
+                if node.up:
+                    released = scheduler.force_release(self.clock)
+                if not released:
+                    raise LivelockError(
+                        "livelock: pending queries but no schedulable work",
+                        **self._diagnostics(),
+                    )
+                self.forced_releases += 1
+                continue
+            break
+        return self._result()

@@ -1,0 +1,232 @@
+"""Columnar-queue scheduler subclasses and the fast factory.
+
+Each fast scheduler is the exact scheduler with :class:`~repro.
+fastengine.columnar.ColumnarQueues` swapped in, plus — for LifeRaft —
+a specialized ``next_batch`` that evaluates the aged metric directly on
+the packed columns instead of going through
+:meth:`~repro.core.contention.ContentionSchedulerBase._metric_view`.
+
+The LifeRaft fast path is restricted to the configurations where the
+Eq. 2 evaluation reduces algebraically, **bit-exactly**, to a single
+min–max over one column (``config.metric.normalize`` with ``alpha`` of
+exactly 0 or 1 — the only alphas LifeRaft is instantiated with by the
+factory):
+
+* ``alpha = 0``: ``a_term * 0.0`` is ``+0.0`` for every element
+  (min–max terms are nonnegative) and ``u_term * 1.0 + 0.0`` is
+  ``u_term`` bitwise, so ``U_e == minmax(U_t)``.
+* ``alpha = 1``: symmetrically ``U_e == minmax(now - oldest)``.
+* With ``span > 0``, monotonicity of correctly-rounded subtraction and
+  division gives ``minmax(x) <= 1.0`` elementwise with equality at the
+  maximum, so ``U_e.max()`` is exactly ``1.0`` and the tie set is
+  ``(x - lo) / span == 1.0`` — computed on the *divided* values, never
+  on raw ``x`` (distinct raw values can round to the same quotient).
+* With ``span <= 0`` the exact metric is all zeros: every atom ties.
+
+Min/max/tie reductions are order-independent, so the fast path may use
+the packed (swap-remove-permuted) columns directly; every other
+consumer goes through the order-restoring ``active_view``.  Any other
+configuration falls back to the inherited exact ``next_batch``, which
+is itself bit-identical on top of ``ColumnarQueues``.
+
+Tie-set caching
+---------------
+
+LifeRaft drains one atom per decision, and most decisions are *pure
+drains*: no arrival, cancellation, or cache insert/evict touches a
+queued atom in between (every such mutation bumps ``queues.version``).
+Across a pure-drain stretch the cached tie set can be replayed in
+ascending-id order without re-reducing the columns, because the next
+exact evaluation is *forced* to reproduce it:
+
+* ``alpha = 0``: the cache is only kept when the tie set equals the
+  exact-max set ``{u == u.max()}`` bitwise (checked at build time; a
+  rounding-collapsed tie, where ``u < max`` normalizes to exactly
+  ``1.0``, disables caching).  Draining one max row leaves the max
+  attained, the min attained (``span > 0`` means no max row is the
+  min), and every other ``u`` unchanged — so the formula's inputs are
+  unchanged and the next tie set is exactly the cache minus the
+  drained atom.
+* ``alpha = 1``: ages move with ``now``, so input-stability does not
+  apply.  The cache is kept only when (a) the tie set equals the exact
+  ``oldest``-argmin set and (b) a no-collapse margin holds:
+  ``o_second - o_min > 2**-40 * (o_span + T)`` with ``T`` a finite
+  bound on the clock (``max_sim_time``).  Argmin members always
+  normalize to exactly ``1.0`` (their age is bitwise the max, so the
+  numerator is bitwise the span); the margin guarantees no non-member
+  quotient can round up to ``1.0`` at *any* later clock: each of the
+  ~4 roundings contributes relative error ``2**-53`` plus absolute
+  error ``2**-53 * now`` from the age subtraction, totalling under
+  ``2**-48 * (o_span + T) / o_span`` of quotient error against a
+  reserved headroom of ``2**-40 * (1 + T / o_span)`` — 256× slack.
+  The margin also keeps the normalized span strictly positive, so the
+  all-tie ``span <= 0`` branch cannot activate mid-stretch.
+
+When the build-time conditions fail (astronomically rare in practice —
+they require distinct metric values within ~2⁻⁴⁰ relative distance),
+the scheduler simply recomputes every decision; correctness never
+depends on the cache being usable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.config import CostModel, EngineConfig, SchedulerConfig
+from repro.core.base import Batch, Scheduler
+from repro.core.jaws import JAWSScheduler
+from repro.core.liferaft import LifeRaftScheduler
+from repro.core.noshare import NoShareScheduler
+from repro.fastengine.columnar import ColumnarQueues
+from repro.grid.dataset import DatasetSpec
+from repro.workload.trace import Trace
+
+__all__ = [
+    "FastJAWSScheduler",
+    "FastLifeRaftScheduler",
+    "make_fast_scheduler",
+]
+
+
+class FastLifeRaftScheduler(LifeRaftScheduler):
+    """LifeRaft on columnar queues with a reduced-metric hot loop."""
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        cost: CostModel,
+        config: Optional[SchedulerConfig] = None,
+        alpha: Optional[float] = None,
+        time_bound: Optional[float] = None,
+    ) -> None:
+        super().__init__(spec, cost, config, alpha=alpha)
+        # Second, narrowed reference to the same object: the inherited
+        # machinery keeps using ``self.queues``.
+        self._cqueues = ColumnarQueues(
+            spec.atoms_per_timestep, capacity_hint=spec.atoms_per_timestep, cost=cost
+        )
+        self.queues = self._cqueues
+        a = self.config.alpha
+        self._fast_metric = self.config.metric.normalize and (a == 0.0 or a == 1.0)
+        # Finite clock bound enabling the alpha=1 no-collapse margin
+        # (see module docstring); None disables alpha=1 tie caching.
+        self._time_bound = (
+            time_bound if time_bound is not None and math.isfinite(time_bound) else None
+        )
+        # Cached tie set: ascending atom ids, next index to drain, and
+        # the queue version the cache is valid for.
+        self._tie_ids: list[int] = []
+        self._tie_pos = 0
+        self._tie_ver = -1
+
+    def next_batch(self, now: float) -> Optional[Batch]:
+        if not self._fast_metric:
+            return super().next_batch(now)
+        queues = self._cqueues
+        if queues.version == self._tie_ver and self._tie_pos < len(self._tie_ids):
+            # Pure-drain stretch: replay the cached tie set.
+            best = self._tie_ids[self._tie_pos]
+            self._tie_pos += 1
+            batch = self._drain([best])
+            self._tie_ver = queues.version
+            return batch
+        n, ids_col, ut_col, oldest_col = queues.dense_arrays()
+        if n == 0:
+            return None
+        ids = ids_col[:n]
+        alpha_zero = self.config.alpha == 0.0
+        v = ut_col[:n] if alpha_zero else now - oldest_col[:n]
+        lo = v.min()
+        hi = v.max()
+        span = hi - lo
+        if span <= 0:
+            tie_ids = ids
+            if alpha_zero:
+                # All u bitwise equal; draining preserves that.
+                cacheable = True
+            else:
+                # Equal *computed* ages can hide distinct oldest values
+                # that diverge at a later clock; cache only the bitwise
+                # all-equal case.
+                o = oldest_col[:n]
+                cacheable = int(np.count_nonzero(o == o.min())) == n
+        else:
+            tie_ids = ids[(v - lo) / span == 1.0]
+            if alpha_zero:
+                cacheable = tie_ids.size == np.count_nonzero(v == hi)
+            else:
+                cacheable = False
+                if self._time_bound is not None:
+                    o = oldest_col[:n]
+                    o_min = o.min()
+                    if int(np.count_nonzero(o == o_min)) == tie_ids.size:
+                        others = o[o != o_min]
+                        o_span = float(o.max() - o_min)
+                        margin = 2.0**-40 * (o_span + self._time_bound)
+                        cacheable = float(others.min() - o_min) > margin
+        if cacheable and tie_ids.size > 1:
+            self._tie_ids = np.sort(tie_ids).tolist()
+            self._tie_pos = 1
+            batch = self._drain([self._tie_ids[0]])
+            self._tie_ver = queues.version
+            return batch
+        self._tie_ver = -1
+        return self._drain([int(tie_ids.min())])
+
+
+class FastJAWSScheduler(JAWSScheduler):
+    """JAWS on columnar queues.
+
+    JAWS's two-level selection sums metrics per time step in active-view
+    order (``np.add.reduceat``), so it keeps the inherited, order-exact
+    ``next_batch``; the win is the O(1)-maintenance ``active_view`` and
+    the shared fast engine components around it.
+    """
+
+    def __init__(
+        self, spec: DatasetSpec, cost: CostModel, config: Optional[SchedulerConfig] = None
+    ) -> None:
+        super().__init__(spec, cost, config)
+        self.queues = ColumnarQueues(
+            spec.atoms_per_timestep, capacity_hint=spec.atoms_per_timestep, cost=cost
+        )
+
+
+def make_fast_scheduler(
+    name: str,
+    trace: Trace,
+    engine: Optional[EngineConfig] = None,
+    config: Optional[SchedulerConfig] = None,
+) -> Scheduler:
+    """Fast-engine twin of :func:`repro.engine.runner.make_scheduler`.
+
+    Must mirror the exact factory's configuration construction verbatim
+    so both engines run behaviourally identical scheduler instances.
+    """
+    engine = engine or EngineConfig()
+    spec = trace.spec
+    base = config or SchedulerConfig(
+        alpha=0.5, adaptive_alpha=True, run_length=engine.run_length
+    )
+    key = name.lower()
+    if key == "noshare":
+        # Deque-driven arrival order: no queues, nothing to vectorize.
+        return NoShareScheduler()
+    if key == "liferaft1":
+        return FastLifeRaftScheduler(
+            spec, engine.cost, base, alpha=1.0, time_bound=engine.max_sim_time
+        )
+    if key == "liferaft2":
+        return FastLifeRaftScheduler(
+            spec, engine.cost, base, alpha=0.0, time_bound=engine.max_sim_time
+        )
+    if key == "jaws1":
+        return FastJAWSScheduler(spec, engine.cost, base.with_(job_aware=False))
+    if key == "jaws2":
+        return FastJAWSScheduler(spec, engine.cost, base.with_(job_aware=True))
+    from repro.engine.runner import SCHEDULER_NAMES
+
+    raise ValueError(f"unknown scheduler {name!r}; choose from {SCHEDULER_NAMES}")

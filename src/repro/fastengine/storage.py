@@ -1,0 +1,95 @@
+"""Timer-free cache and identity-mapped disk for the fast engine.
+
+Both classes are behaviourally bit-identical to their exact-engine
+bases for everything that can reach a :class:`~repro.engine.results.
+RunResult`:
+
+* :class:`FastBufferCache` replays :meth:`~repro.storage.buffer.
+  BufferCache.access` without the four ``perf_counter_ns`` reads per
+  access — the Table I overhead instrumentation.  ``stats.overhead_ns``
+  therefore stays 0, which is exactly the field every bit-identity
+  comparison already strips
+  (:func:`repro.fuzz.oracles.normalize_result`).
+* :class:`FastDiskModel` exploits that the clustered B+-tree maps key
+  ``k`` to block ``k`` (:meth:`~repro.storage.btree.BPlusTree.
+  build_clustered` inserts ``(k, k)``), replacing the per-read tree
+  descent with a bounds check.  Costs, sequential-streak accounting,
+  degraded mode and the ``KeyError`` contract are replicated verbatim;
+  the tree itself is still built so the ``tree`` diagnostic property
+  keeps working.
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModel
+from repro.storage.buffer import BufferCache
+from repro.storage.disk import DiskModel
+
+__all__ = ["FastBufferCache", "FastDiskModel"]
+
+
+class FastBufferCache(BufferCache):
+    """:class:`BufferCache` minus the wall-clock overhead profiling."""
+
+    def access(self, atom_id: int, now: float) -> bool:
+        if atom_id in self._resident:
+            self.policy.on_access(atom_id, now)
+            self.stats.hits += 1
+            return True
+
+        if len(self._resident) >= self.capacity:
+            victim = self.policy.choose_victim()
+            if victim not in self._resident:
+                raise RuntimeError(f"policy chose non-resident victim {victim}")
+            self._resident.remove(victim)
+            self.policy.on_evict(victim)
+            self.stats.evictions += 1
+            for cb in self._on_evict:
+                cb(victim)
+
+        self._resident.add(atom_id)
+        self.policy.on_insert(atom_id, now)
+        self.policy.on_access(atom_id, now)
+        self.stats.misses += 1
+        for cb in self._on_insert:
+            cb(atom_id)
+        return False
+
+    def run_boundary(self) -> None:
+        self.policy.on_run_boundary()
+
+
+class FastDiskModel(DiskModel):
+    """:class:`DiskModel` with the identity block mapping inlined."""
+
+    def __init__(self, cost: CostModel, n_atoms: int, tree_order: int = 64) -> None:
+        super().__init__(cost, n_atoms, tree_order)
+        self._n_atoms = n_atoms
+
+    def read_atom(self, atom_id: int, cost_factor: float = 1.0) -> float:
+        if not 0 <= atom_id < self._n_atoms:
+            raise KeyError(f"atom {atom_id} not on this disk")
+        last = self._last_block
+        sequential = last is not None and atom_id == last + 1
+        self._last_block = atom_id
+        seconds = (
+            self._cost.t_b
+            * (self._cost.seq_discount if sequential else 1.0)
+            * cost_factor
+            * self._degrade_factor
+        )
+        stats = self.stats
+        stats.reads += 1
+        if sequential:
+            stats.sequential_reads += 1
+        stats.seconds += seconds
+        return seconds
+
+    def failed_read(self, atom_id: int) -> float:
+        if not 0 <= atom_id < self._n_atoms:
+            raise KeyError(f"atom {atom_id} not on this disk")
+        seconds = self._cost.t_b * self._degrade_factor
+        self.stats.failed_reads += 1
+        self.stats.seconds += seconds
+        self.reset_locality()
+        return seconds

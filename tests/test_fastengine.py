@@ -1,0 +1,170 @@
+"""Fast-engine equivalence gate: bit-identity against the exact oracle.
+
+The matrix here (5 schedulers × faults on/off, sanitizer armed) is the
+in-repo twin of the ``fastengine-crossval`` CI job: every cell must
+produce a bit-identical :class:`RunResult` — equal normalized summary
+dicts, ``float.hex``-equal completion times, and an identical
+scheduler-decision digest.  Alongside it: the typed
+``ConfigurationError`` surface for unsupported combinations, the
+``RunSpec``/trace-cache digest separation, and a fuzz-campaign smoke
+run on ``engine_kind="fast"``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CostModel,
+    EngineConfig,
+    SchedulerConfig,
+    ShardConfig,
+)
+from repro.engine.runner import ENGINE_KINDS, make_scheduler, run_trace
+from repro.errors import ConfigurationError
+from repro.fastengine import validate_fast_supported
+from repro.fastengine.crossval import crossval_faults, crossval_pair
+from repro.fuzz.campaign import run_campaign
+from repro.fuzz.oracles import normalize_result
+from repro.grid.dataset import DatasetSpec
+from repro.parallel import RunSpec, run_many
+from repro.workload.cache import trace_cache_key
+from repro.workload.generator import WorkloadParams, generate_trace
+
+SPEC = DatasetSpec.small(n_timesteps=6, atoms_per_axis=4)
+
+ALL_SCHEDULERS = ("noshare", "liferaft1", "liferaft2", "jaws1", "jaws2")
+
+
+def small_trace(seed=0, n_jobs=15):
+    return generate_trace(SPEC, WorkloadParams(n_jobs=n_jobs, span=120.0, seed=seed))
+
+
+def engine(sanitize=True):
+    """Sanitizer armed: equivalence must hold with invariant checks on."""
+    return EngineConfig(
+        cost=CostModel(t_b=0.02, t_m=1e-5),
+        cache=CacheConfig(capacity_atoms=32),
+        run_length=10,
+        sanitize=sanitize,
+    )
+
+
+class TestBitIdentity:
+    """The tentpole contract: exact and fast runs are indistinguishable."""
+
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    @pytest.mark.parametrize("faulted", (False, True), ids=("clean", "faults"))
+    def test_matrix_cell_is_bit_identical(self, name, faulted):
+        faults = crossval_faults(seed=3) if faulted else None
+        outcome = crossval_pair(small_trace(seed=11), name, engine(), faults=faults)
+        assert outcome.match, outcome.divergence
+        # The decision digests must agree *and* be non-trivial: an
+        # instrumentation bug that hashed nothing would vacuously pass.
+        assert outcome.exact_digest == outcome.fast_digest
+        assert outcome.n_queries > 0
+
+    @pytest.mark.parametrize("name", ("liferaft2", "jaws2"))
+    def test_normalized_result_dicts_equal(self, name):
+        trace = small_trace(seed=4)
+        exact = run_trace(trace, name, engine())
+        fast = run_trace(trace, name, engine(), engine_kind="fast")
+        assert normalize_result(exact) == normalize_result(fast)
+        exact_hex = [float(t).hex() for t in exact.response_times]
+        fast_hex = [float(t).hex() for t in fast.response_times]
+        assert exact_hex == fast_hex
+
+    def test_scheduler_config_override_propagates(self):
+        config = SchedulerConfig(batch_size=3)
+        outcome = crossval_pair(
+            small_trace(seed=6), "jaws2", engine(), config=config
+        )
+        assert outcome.match, outcome.divergence
+
+
+class TestConfigurationErrors:
+    """Unsupported combinations fail loudly with the typed error."""
+
+    def test_unknown_engine_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown engine kind"):
+            run_trace(small_trace(), "jaws2", engine(), engine_kind="warp")
+
+    def test_prebuilt_scheduler_instance_rejected(self):
+        trace = small_trace()
+        scheduler = make_scheduler("jaws2", trace, engine())
+        with pytest.raises(ConfigurationError, match="factory name"):
+            run_trace(trace, scheduler, engine(), engine_kind="fast")
+
+    def test_sharded_rejected(self):
+        with pytest.raises(ConfigurationError, match="sharded"):
+            validate_fast_supported(engine(), shards=ShardConfig(n_shards=2))
+
+    def test_cluster_rejected(self):
+        with pytest.raises(ConfigurationError, match="single-node"):
+            validate_fast_supported(engine(), n_nodes=4)
+
+    def test_checkpointing_rejected(self):
+        from repro.config import CheckpointConfig
+
+        ckpt = dataclasses.replace(
+            engine(),
+            checkpoint=CheckpointConfig(directory="ckpt", every_events=100),
+        )
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            validate_fast_supported(ckpt)
+
+    def test_shardscale_experiment_rejects_fast(self):
+        from repro.experiments import shardscale
+
+        with pytest.raises(ConfigurationError, match="sharded"):
+            shardscale.run(engine_kind="fast")
+        with pytest.raises(ConfigurationError, match="unknown engine kind"):
+            shardscale.run(engine_kind="warp")
+
+    def test_campaign_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown engine kind"):
+            run_campaign(seed=1, runs=1, quick=True, engine_kind="warp")
+
+
+class TestParallelSeam:
+    """RunSpec carries the engine kind through digests and the pool."""
+
+    def test_engine_kind_changes_digest(self):
+        trace = small_trace()
+        exact_spec = RunSpec(trace, "jaws2", engine())
+        fast_spec = RunSpec(trace, "jaws2", engine(), engine_kind="fast")
+        assert exact_spec.engine_kind == "exact"
+        assert exact_spec.digest() != fast_spec.digest()
+
+    def test_run_many_fast_matches_exact(self):
+        trace = small_trace(seed=9)
+        exact_specs = [RunSpec(trace, n, engine(), label=n) for n in ("noshare", "jaws2")]
+        fast_specs = [
+            RunSpec(trace, n, engine(), label=n, engine_kind="fast")
+            for n in ("noshare", "jaws2")
+        ]
+        for a, b in zip(run_many(exact_specs), run_many(fast_specs)):
+            assert normalize_result(a) == normalize_result(b)
+
+    def test_trace_cache_key_engine_partition(self):
+        params = WorkloadParams(n_jobs=5, span=60.0, seed=1)
+        default = trace_cache_key(SPEC, params, 1.0)
+        assert default == trace_cache_key(SPEC, params, 1.0, engine="")
+        assert default != trace_cache_key(SPEC, params, 1.0, engine="fast")
+
+
+class TestFuzzSmoke:
+    """A fast-engine campaign runs clean and matches the exact summary."""
+
+    def test_campaign_summary_matches_exact(self):
+        exact = run_campaign(seed=21, runs=2, quick=True)
+        fast = run_campaign(seed=21, runs=2, quick=True, engine_kind="fast")
+        # Scenario outcomes are engine-independent by the bit-identity
+        # contract, so the canonical summaries must be byte-identical.
+        assert fast.summary_json() == exact.summary_json()
+
+
+class TestEngineKindsRegistry:
+    def test_registry_contents(self):
+        assert ENGINE_KINDS == ("exact", "fast")
